@@ -1,0 +1,37 @@
+//! Benchmark: coverage evaluation and the two optimal-coverage solvers
+//! (KKT water-filling vs projected gradient).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersal_core::coverage::coverage;
+use dispersal_core::optimal::{optimal_coverage_gradient, optimal_coverage_waterfill};
+use dispersal_core::strategy::Strategy;
+use dispersal_core::value::ValueProfile;
+
+fn bench_coverage_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coverage_eval");
+    for &m in &[100usize, 10_000] {
+        let f = ValueProfile::zipf(m, 1.0, 0.8).unwrap();
+        let p = Strategy::proportional(f.values()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| coverage(black_box(&f), black_box(&p), 16).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_coverage");
+    group.sample_size(20);
+    let f = ValueProfile::zipf(100, 1.0, 0.9).unwrap();
+    let k = 8;
+    group.bench_function("waterfill", |b| {
+        b.iter(|| optimal_coverage_waterfill(black_box(&f), k).unwrap())
+    });
+    group.bench_function("projected_gradient", |b| {
+        b.iter(|| optimal_coverage_gradient(black_box(&f), k).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coverage_eval, bench_optimizers);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benchmark: the general IFD water-filling solver across (M, k) and
+//! policies — the kernel behind the red curve of Figure 1 and every SPoA
+//! evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersal_core::ifd::solve_ifd;
+use dispersal_core::policy::{Exclusive, Sharing, TwoLevel};
+use dispersal_core::value::ValueProfile;
+
+fn bench_ifd_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ifd_solve");
+    for &m in &[10usize, 100, 1000] {
+        for &k in &[2usize, 8, 32] {
+            let f = ValueProfile::zipf(m, 1.0, 1.0).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("sharing_m{m}"), k),
+                &k,
+                |b, &k| b.iter(|| solve_ifd(&Sharing, black_box(&f), k).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_ifd_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ifd_policy");
+    let f = ValueProfile::zipf(200, 1.0, 0.9).unwrap();
+    let k = 8;
+    group.bench_function("exclusive", |b| {
+        b.iter(|| solve_ifd(&Exclusive, black_box(&f), k).unwrap())
+    });
+    group.bench_function("sharing", |b| {
+        b.iter(|| solve_ifd(&Sharing, black_box(&f), k).unwrap())
+    });
+    group.bench_function("aggressive", |b| {
+        b.iter(|| solve_ifd(&TwoLevel { c: -0.5 }, black_box(&f), k).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ifd_scaling, bench_ifd_policies);
+criterion_main!(benches);

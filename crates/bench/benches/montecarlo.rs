@@ -1,0 +1,49 @@
+//! Benchmark: one-shot Monte-Carlo throughput — serial single plays vs the
+//! sharded Rayon estimator (the parallelism ablation for S11).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersal_core::policy::Exclusive;
+use dispersal_core::strategy::Strategy;
+use dispersal_core::value::ValueProfile;
+use dispersal_sim::montecarlo::{estimate_symmetric, McConfig};
+use dispersal_sim::oneshot::OneShotGame;
+use dispersal_sim::rng::Seed;
+
+fn bench_single_play(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oneshot_play");
+    for &k in &[2usize, 16, 128] {
+        let f = ValueProfile::zipf(50, 1.0, 1.0).unwrap();
+        let p = Strategy::proportional(f.values()).unwrap();
+        let mut game = OneShotGame::symmetric(&f, &Exclusive, &p, k).unwrap();
+        let mut rng = Seed(1).rng();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(game.play_coverage(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc_estimate_100k");
+    group.sample_size(10);
+    let f = ValueProfile::zipf(20, 1.0, 1.0).unwrap();
+    let p = Strategy::proportional(f.values()).unwrap();
+    for &shards in &[1u64, 8, 64] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                estimate_symmetric(
+                    &f,
+                    &Exclusive,
+                    &p,
+                    8,
+                    McConfig { trials: 100_000, seed: 2, shards },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_play, bench_parallel_estimator);
+criterion_main!(benches);

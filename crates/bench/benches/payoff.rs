@@ -1,0 +1,61 @@
+//! Benchmark: payoff kernels — the congestion response `g_C`, symmetric
+//! payoffs, and the exact Poisson–binomial heterogeneous evaluator that the
+//! ESS checker leans on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersal_core::numerics::poisson_binomial_pmf;
+use dispersal_core::payoff::PayoffContext;
+use dispersal_core::policy::Sharing;
+use dispersal_core::strategy::Strategy;
+use dispersal_core::value::ValueProfile;
+
+fn bench_g(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congestion_response_g");
+    for &k in &[2usize, 16, 128] {
+        let ctx = PayoffContext::new(&Sharing, k).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| ctx.g(black_box(0.37)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_symmetric_payoff(c: &mut Criterion) {
+    let f = ValueProfile::zipf(200, 1.0, 1.0).unwrap();
+    let p = Strategy::proportional(f.values()).unwrap();
+    let ctx = PayoffContext::new(&Sharing, 16).unwrap();
+    c.bench_function("symmetric_payoff_m200_k16", |b| {
+        b.iter(|| ctx.symmetric_payoff(black_box(&f), black_box(&p)).unwrap())
+    });
+}
+
+fn bench_ess_payoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ess_payoff");
+    group.sample_size(30);
+    let f = ValueProfile::zipf(30, 1.0, 1.0).unwrap();
+    let sigma = Strategy::proportional(f.values()).unwrap();
+    let pi = Strategy::uniform(30).unwrap();
+    for &k in &[4usize, 16, 64] {
+        let ctx = PayoffContext::new(&Sharing, k).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                ctx.ess_payoff(black_box(&f), &sigma, &sigma, k / 2, &pi, k - 1 - k / 2).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_poisson_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_binomial_dp");
+    for &n in &[8usize, 64, 256] {
+        let probs: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) / (2.0 * n as f64)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| poisson_binomial_pmf(black_box(&probs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_g, bench_symmetric_payoff, bench_ess_payoff, bench_poisson_binomial);
+criterion_main!(benches);

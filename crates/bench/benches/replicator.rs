@@ -1,0 +1,40 @@
+//! Benchmark: evolutionary dynamics — RK4 replicator steps and the logit
+//! map, as a function of the number of sites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersal_core::policy::Sharing;
+use dispersal_core::strategy::Strategy;
+use dispersal_core::value::ValueProfile;
+use dispersal_sim::dynamics::{run_logit, DynamicsConfig};
+use dispersal_sim::replicator::{run_replicator, ReplicatorConfig};
+
+fn bench_replicator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replicator_1k_steps");
+    group.sample_size(20);
+    for &m in &[4usize, 32, 256] {
+        let f = ValueProfile::zipf(m, 1.0, 1.0).unwrap();
+        let start = Strategy::uniform(m).unwrap();
+        let config = ReplicatorConfig { max_steps: 1_000, velocity_tol: 0.0, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| run_replicator(&Sharing, &f, &start, 8, config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_logit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logit_1k_steps");
+    group.sample_size(20);
+    for &m in &[4usize, 32, 256] {
+        let f = ValueProfile::zipf(m, 1.0, 1.0).unwrap();
+        let start = Strategy::uniform(m).unwrap();
+        let config = DynamicsConfig { max_steps: 1_000, tol: 0.0, beta: 100.0, damping: 0.1 };
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| run_logit(&Sharing, &f, &start, 8, config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replicator, bench_logit);
+criterion_main!(benches);

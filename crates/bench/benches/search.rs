@@ -1,0 +1,41 @@
+//! Benchmark: the search substrate — per-round σ⋆ recomputation on the
+//! shifting posterior, and plan evaluation over a horizon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersal_search::astar::IteratedSigmaStar;
+use dispersal_search::game::evaluate_plan;
+use dispersal_search::plan::SearchPlan;
+use dispersal_search::prior::Prior;
+
+fn bench_plan_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("astar_50_rounds");
+    group.sample_size(20);
+    for &m in &[20usize, 100, 500] {
+        let prior = Prior::zipf(m, 1.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let mut plan = IteratedSigmaStar::new(&prior, 4).unwrap();
+                plan.round(49)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate_plan_horizon200");
+    group.sample_size(20);
+    let prior = Prior::zipf(100, 1.0).unwrap();
+    for &k in &[1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut plan = IteratedSigmaStar::new(&prior, k).unwrap();
+                evaluate_plan(&mut plan, &prior, k, 200).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_rounds, bench_evaluate);
+criterion_main!(benches);

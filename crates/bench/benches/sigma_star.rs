@@ -1,0 +1,33 @@
+//! Benchmark: the closed-form σ⋆ construction vs the general solver — the
+//! cost of the paper's algorithm as M grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersal_core::ifd::solve_ifd;
+use dispersal_core::policy::Exclusive;
+use dispersal_core::sigma_star::sigma_star;
+use dispersal_core::value::ValueProfile;
+
+fn bench_sigma_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sigma_star");
+    for &m in &[10usize, 100, 1000, 10_000] {
+        let f = ValueProfile::zipf(m, 1.0, 1.0).unwrap();
+        group.bench_with_input(BenchmarkId::new("closed_form", m), &m, |b, _| {
+            b.iter(|| sigma_star(black_box(&f), 16).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_closed_form_vs_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sigma_star_vs_solver");
+    let f = ValueProfile::zipf(500, 1.0, 1.0).unwrap();
+    let k = 8;
+    group.bench_function("closed_form", |b| b.iter(|| sigma_star(black_box(&f), k).unwrap()));
+    group.bench_function("waterfill_solver", |b| {
+        b.iter(|| solve_ifd(&Exclusive, black_box(&f), k).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sigma_star, bench_closed_form_vs_solver);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmark: SPoA evaluation and the adversarial instance search inner
+//! loop (Theorem 6 tooling).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersal_core::policy::Sharing;
+use dispersal_core::spoa::spoa;
+use dispersal_core::value::ValueProfile;
+use dispersal_mech::adversarial::{adversarial_spoa, AdversarialConfig};
+use dispersal_mech::evaluator::evaluate_policy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_spoa_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spoa_point");
+    for &m in &[10usize, 100] {
+        let f = ValueProfile::zipf(m, 1.0, 0.5).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| spoa(&Sharing, black_box(&f), 8).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_adversarial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversarial_search");
+    group.sample_size(10);
+    group.bench_function("m16_30iters", |b| {
+        b.iter(|| {
+            adversarial_spoa(
+                &Sharing,
+                4,
+                AdversarialConfig { m: 16, random_starts: 2, iterations: 30, step: 0.2, seed: 5 },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_scorecard");
+    group.sample_size(10);
+    let f = ValueProfile::zipf(20, 1.0, 0.8).unwrap();
+    group.bench_function("sharing_m20_k6", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            evaluate_policy("sharing", &Sharing, &f, 6, 0, &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spoa_point, bench_adversarial, bench_full_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! `dispersal` — command-line front end to the library, for downstream
+//! users who want answers without writing Rust.
+//!
+//! ```text
+//! dispersal solve      --policy <spec> --profile <spec> -k <n>
+//! dispersal sigma-star --profile <spec> -k <n>
+//! dispersal optimal    --profile <spec> -k <n>
+//! dispersal spoa       --policy <spec> --profile <spec> -k <n>
+//! dispersal ess        --profile <spec> -k <n> [--mutants <n>]
+//! dispersal evaluate   --profile <spec> -k <n>          # whole catalog
+//! ```
+//!
+//! Policy specs: `exclusive | sharing | constant | two-level:<c> |
+//! power:<beta> | linear:<slope> | cooperative:<theta>`.
+//! Profile specs: `zipf:<M>:<s> | geometric:<M>:<rho> |
+//! linear:<M>:<hi>:<lo> | uniform:<M>:<v> | slow-decay:<M>:<k> |
+//! values:<v1>,<v2>,…`.
+
+use dispersal_core::prelude::*;
+use dispersal_mech::catalog::{parse_policy, parse_profile};
+use dispersal_mech::evaluator::evaluate_catalog;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dispersal <solve|sigma-star|optimal|spoa|ess|evaluate> \
+                     [--policy <spec>] --profile <spec> -k <n> [--mutants <n>] [--seed <n>]\n\
+                     run `dispersal help` for spec syntax";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = match args[i].as_str() {
+            "--policy" => "policy",
+            "--profile" => "profile",
+            "-k" | "--players" => "k",
+            "--mutants" => "mutants",
+            "--seed" => "seed",
+            other => {
+                return Err(Error::InvalidArgument(format!("unknown flag: {other}")));
+            }
+        };
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| Error::InvalidArgument(format!("flag {} needs a value", args[i])))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn get_k(flags: &HashMap<String, String>) -> Result<usize> {
+    flags
+        .get("k")
+        .ok_or_else(|| Error::InvalidArgument("missing -k <players>".into()))?
+        .parse::<usize>()
+        .map_err(|e| Error::InvalidArgument(format!("bad -k value: {e}")))
+}
+
+fn get_profile(flags: &HashMap<String, String>) -> Result<ValueProfile> {
+    parse_profile(
+        flags
+            .get("profile")
+            .ok_or_else(|| Error::InvalidArgument("missing --profile <spec>".into()))?,
+    )
+}
+
+fn print_strategy(label: &str, f: &ValueProfile, s: &Strategy, k: usize) -> Result<()> {
+    println!("{label}:");
+    for x in 0..s.len().min(20) {
+        println!("  site {:>3}  f = {:>9.5}  p = {:.6}", x + 1, f.value(x), s.prob(x));
+    }
+    if s.len() > 20 {
+        println!("  … ({} more sites)", s.len() - 20);
+    }
+    println!("  coverage  = {:.6}", coverage(f, s, k)?);
+    Ok(())
+}
+
+fn run() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err(Error::InvalidArgument(USAGE.into()));
+    };
+    if command == "help" || command == "--help" {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "solve" => {
+            let f = get_profile(&flags)?;
+            let k = get_k(&flags)?;
+            let policy = parse_policy(
+                flags
+                    .get("policy")
+                    .ok_or_else(|| Error::InvalidArgument("missing --policy <spec>".into()))?,
+            )?;
+            let ifd = solve_ifd_allow_degenerate(policy.as_ref(), &f, k)?;
+            print_strategy(
+                &format!("IFD of {} (k = {k})", policy.name()),
+                &f,
+                &ifd.strategy,
+                k,
+            )?;
+            let ctx = PayoffContext::new(policy.as_ref(), k)?;
+            println!("  payoff    = {:.6}", ctx.symmetric_payoff(&f, &ifd.strategy)?);
+            println!("  support   = {}", ifd.support);
+            println!("  residual  = {:.2e}", ifd.residual);
+        }
+        "sigma-star" => {
+            let f = get_profile(&flags)?;
+            let k = get_k(&flags)?;
+            let star = sigma_star(&f, k)?;
+            print_strategy(&format!("sigma* (k = {k})"), &f, &star.strategy, k)?;
+            println!("  W         = {}", star.support);
+            println!("  alpha     = {:.6}", star.alpha);
+            println!("  nu        = {:.6}", star.equilibrium_value());
+        }
+        "optimal" => {
+            let f = get_profile(&flags)?;
+            let k = get_k(&flags)?;
+            let opt = optimal_coverage(&f, k)?;
+            print_strategy(&format!("optimal-coverage strategy (k = {k})"), &f, &opt.strategy, k)?;
+            println!("  obs-1 bound = {:.6}", observation1_bound(&f, k));
+        }
+        "spoa" => {
+            let f = get_profile(&flags)?;
+            let k = get_k(&flags)?;
+            let policy = parse_policy(
+                flags
+                    .get("policy")
+                    .ok_or_else(|| Error::InvalidArgument("missing --policy <spec>".into()))?,
+            )?;
+            let point = spoa(policy.as_ref(), &f, k)?;
+            println!("policy              = {}", policy.name());
+            println!("optimal coverage    = {:.6}", point.optimal_coverage);
+            println!("equilibrium coverage= {:.6}", point.equilibrium_coverage);
+            println!("SPoA                = {:.6}", point.ratio);
+        }
+        "ess" => {
+            let f = get_profile(&flags)?;
+            let k = get_k(&flags)?;
+            let mutants = flags
+                .get("mutants")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| Error::InvalidArgument(format!("bad --mutants: {e}")))?
+                .unwrap_or(100);
+            let seed = flags
+                .get("seed")
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| Error::InvalidArgument(format!("bad --seed: {e}")))?
+                .unwrap_or(42);
+            let star = sigma_star(&f, k)?;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let report = probe_ess_k(&Exclusive, &f, &star.strategy, mutants, &mut rng, k)?;
+            println!("candidate           = sigma* (k = {k})");
+            println!("mutants tested      = {}", report.mutants_tested);
+            println!("repelled            = {}", report.repelled);
+            println!("indistinguishable   = {}", report.indistinguishable);
+            println!("invasions           = {}", report.invasions.len());
+            println!("worst margin        = {:.3e}", report.worst_margin);
+            println!("verdict             = {}", if report.passed() { "ESS (no invasion found)" } else { "NOT an ESS" });
+        }
+        "evaluate" => {
+            let f = get_profile(&flags)?;
+            let k = get_k(&flags)?;
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let evals = evaluate_catalog(&f, k, 0, &mut rng)?;
+            println!(
+                "{:<20} {:>10} {:>10} {:>8} {:>9} {:>8}",
+                "policy", "eq-cover", "opt-cover", "SPoA", "payoff", "support"
+            );
+            for e in evals {
+                println!(
+                    "{:<20} {:>10.5} {:>10.5} {:>8.4} {:>9.5} {:>8}",
+                    e.policy,
+                    e.equilibrium_coverage,
+                    e.optimal_coverage,
+                    e.spoa,
+                    e.equilibrium_payoff,
+                    e.ifd_support
+                );
+            }
+        }
+        other => {
+            return Err(Error::InvalidArgument(format!("unknown command '{other}'\n{USAGE}")));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

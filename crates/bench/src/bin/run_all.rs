@@ -1,0 +1,49 @@
+//! Run every experiment binary in sequence — the one-command reproduction
+//! of all figures and tables in EXPERIMENTS.md.
+//!
+//! Equivalent to invoking each `exp_*` / `fig1` binary yourself; kept as a
+//! tiny driver (not a shell script) so it works on every platform.
+
+use std::process::Command;
+
+fn main() {
+    let experiments = [
+        "fig1",
+        "exp_obs1",
+        "exp_thm3_invasion",
+        "exp_thm4_optimality",
+        "exp_thm6_spoa",
+        "exp_spoa_sharing",
+        "exp_replicator",
+        "exp_mc_validation",
+        "exp_search",
+        "exp_extensions",
+        "exp_pure",
+        "exp_robustness",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let bin_dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in experiments {
+        println!("================ {name} ================");
+        let path = bin_dir.join(name);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name}: exited with {s}");
+                failures.push(name);
+            }
+            Err(e) => {
+                eprintln!("{name}: failed to launch ({e}); build it with `cargo build --release -p dispersal-bench`");
+                failures.push(name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("All experiments completed; results under results/.");
+    } else {
+        eprintln!("Failed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

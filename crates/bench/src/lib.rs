@@ -1,0 +1,56 @@
+//! Shared helpers for the experiment binaries of `dispersal-bench`.
+//!
+//! Every binary regenerates one experiment from EXPERIMENTS.md, writing CSV
+//! (and ASCII plots) under `results/` at the workspace root and echoing a
+//! summary to stdout.
+
+use std::path::PathBuf;
+
+/// Resolve the `results/` directory: respects `DISPERSAL_RESULTS_DIR`, else
+/// walks up from the current directory to the workspace root (detected by
+/// the presence of `Cargo.toml` + `crates/`), else uses `./results`.
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("DISPERSAL_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+/// Write `contents` to `results/<name>`, creating the directory if needed.
+/// Returns the full path written.
+pub fn write_result(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_env_override() {
+        std::env::set_var("DISPERSAL_RESULTS_DIR", "/tmp/dispersal-test-results");
+        assert_eq!(results_dir(), PathBuf::from("/tmp/dispersal-test-results"));
+        std::env::remove_var("DISPERSAL_RESULTS_DIR");
+    }
+
+    #[test]
+    fn write_result_roundtrip() {
+        std::env::set_var("DISPERSAL_RESULTS_DIR", "/tmp/dispersal-test-results-rt");
+        let path = write_result("probe.txt", "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "hello");
+        std::env::remove_var("DISPERSAL_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all("/tmp/dispersal-test-results-rt");
+    }
+}

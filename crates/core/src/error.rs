@@ -1,0 +1,143 @@
+//! Error types for model construction and solvers.
+
+use std::fmt;
+
+/// Errors produced when constructing model objects or running solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A value profile was empty.
+    EmptyProfile,
+    /// A value profile contained a non-positive or non-finite entry.
+    InvalidValue {
+        /// Offending site index (0-based).
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A strategy vector was empty.
+    EmptyStrategy,
+    /// A strategy contained a negative or non-finite probability.
+    InvalidProbability {
+        /// Offending site index (0-based).
+        index: usize,
+        /// The offending probability.
+        value: f64,
+    },
+    /// A strategy did not sum to 1 within tolerance.
+    NotNormalized {
+        /// The observed sum.
+        sum: f64,
+    },
+    /// Dimension mismatch between a strategy and a value profile.
+    DimensionMismatch {
+        /// Strategy dimension.
+        strategy: usize,
+        /// Profile dimension.
+        profile: usize,
+    },
+    /// The number of players must be at least 1.
+    InvalidPlayerCount {
+        /// The rejected player count.
+        k: usize,
+    },
+    /// A congestion function violated `C(1) = 1`.
+    BadCongestionAtOne {
+        /// The observed `C(1)`.
+        c1: f64,
+    },
+    /// A congestion function was increasing somewhere on `[1, k]`.
+    IncreasingCongestion {
+        /// Position where the increase was detected.
+        ell: usize,
+        /// `C(ell)`.
+        c_ell: f64,
+        /// `C(ell + 1)`.
+        c_next: f64,
+    },
+    /// The congestion function is constant on `[1, k]`, so the site value
+    /// does not depend on congestion and the IFD degenerates to mass on the
+    /// top-value sites. Callers that can handle this case should use
+    /// [`crate::ifd::solve_ifd_allow_degenerate`].
+    DegeneratePolicy,
+    /// A solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Which solver failed.
+        what: &'static str,
+        /// Final residual when the budget ran out.
+        residual: f64,
+    },
+    /// Generic invalid argument.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyProfile => write!(out, "value profile must contain at least one site"),
+            Error::InvalidValue { index, value } => {
+                write!(out, "site {index} has invalid value {value}; values must be finite and positive")
+            }
+            Error::EmptyStrategy => write!(out, "strategy must contain at least one site"),
+            Error::InvalidProbability { index, value } => {
+                write!(out, "strategy entry {index} has invalid probability {value}")
+            }
+            Error::NotNormalized { sum } => {
+                write!(out, "strategy probabilities sum to {sum}, expected 1")
+            }
+            Error::DimensionMismatch { strategy, profile } => {
+                write!(out, "strategy over {strategy} sites used with profile of {profile} sites")
+            }
+            Error::InvalidPlayerCount { k } => write!(out, "invalid player count k = {k}"),
+            Error::BadCongestionAtOne { c1 } => {
+                write!(out, "congestion function must satisfy C(1) = 1, got {c1}")
+            }
+            Error::IncreasingCongestion { ell, c_ell, c_next } => {
+                write!(out, "congestion function increases: C({ell}) = {c_ell} < C({}) = {c_next}", ell + 1)
+            }
+            Error::DegeneratePolicy => {
+                write!(out, "congestion function is constant on [1, k]; the IFD is degenerate")
+            }
+            Error::NoConvergence { what, residual } => {
+                write!(out, "{what} failed to converge (residual {residual:e})")
+            }
+            Error::InvalidArgument(msg) => write!(out, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let variants: Vec<Error> = vec![
+            Error::EmptyProfile,
+            Error::InvalidValue { index: 3, value: -1.0 },
+            Error::EmptyStrategy,
+            Error::InvalidProbability { index: 0, value: f64::NAN },
+            Error::NotNormalized { sum: 0.5 },
+            Error::DimensionMismatch { strategy: 2, profile: 3 },
+            Error::InvalidPlayerCount { k: 0 },
+            Error::BadCongestionAtOne { c1: 0.9 },
+            Error::IncreasingCongestion { ell: 1, c_ell: 0.2, c_next: 0.4 },
+            Error::DegeneratePolicy,
+            Error::NoConvergence { what: "ifd", residual: 1e-3 },
+            Error::InvalidArgument("x".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::EmptyProfile);
+    }
+}

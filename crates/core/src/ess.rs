@@ -1,0 +1,374 @@
+//! Evolutionary stability checking (Section 1.4, Theorem 3).
+//!
+//! A strategy `σ` is an ESS if for every mutant `π ≠ σ` there exists
+//! `0 ≤ m_π ≤ k−1` such that
+//!
+//! * `E(σ; σ^{k−m−1}, π^m) > E(π; σ^{k−m−1}, π^m)`, and
+//! * `E(σ; σ^{k−ℓ−1}, π^ℓ) = E(π; σ^{k−ℓ−1}, π^ℓ)` for all `ℓ < m`.
+//!
+//! This module evaluates those conditions *exactly* (via the
+//! Poisson–binomial payoff evaluator) for any finite set of candidate
+//! mutants, and estimates the invasion barrier `ε_π` from the
+//! population-mixture payoff of Eq. (3).
+
+use crate::error::{Error, Result};
+use crate::payoff::PayoffContext;
+use crate::policy::Congestion;
+use crate::strategy::Strategy;
+use crate::value::ValueProfile;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Numerical tolerance distinguishing "equal" payoffs from strict
+/// advantages in the ESS characterization.
+pub const ESS_TOL: f64 = 1e-10;
+
+/// Outcome of checking the ESS characterization against one mutant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MutantVerdict {
+    /// The mutant is repelled at level `m` (the characterization holds with
+    /// `m_π = m`); `margin` is the strict payoff advantage at that level.
+    Repelled {
+        /// The characterization level `m_π`.
+        m: usize,
+        /// Strict payoff advantage of the resident at that level.
+        margin: f64,
+    },
+    /// The mutant ties the resident at all levels `0..=k−1` within
+    /// tolerance — the candidate and mutant are payoff-indistinguishable
+    /// (happens only for `π = σ` or numerically identical strategies).
+    Indistinguishable,
+    /// The mutant strictly beats the resident at some level before any
+    /// strict advantage for the resident: the candidate is *not* an ESS.
+    Invades {
+        /// First level at which the mutant strictly wins.
+        level: usize,
+        /// The resident's payoff deficit at that level.
+        deficit: f64,
+    },
+}
+
+/// Per-level payoff ledger for diagnostics: `resident[ℓ]` is
+/// `E(σ; σ^{k−ℓ−1}, π^ℓ)` and `mutant[ℓ]` is `E(π; σ^{k−ℓ−1}, π^ℓ)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EssLedger {
+    /// Resident payoffs by number of mutant opponents.
+    pub resident: Vec<f64>,
+    /// Mutant payoffs by number of mutant opponents.
+    pub mutant: Vec<f64>,
+}
+
+/// Compute the full ESS ledger for resident `sigma` against mutant `pi`.
+pub fn ess_ledger(
+    ctx: &PayoffContext,
+    f: &ValueProfile,
+    sigma: &Strategy,
+    pi: &Strategy,
+) -> Result<EssLedger> {
+    let k = ctx.k();
+    if k < 2 {
+        return Err(Error::InvalidPlayerCount { k });
+    }
+    let mut resident = Vec::with_capacity(k);
+    let mut mutant = Vec::with_capacity(k);
+    for ell in 0..k {
+        let a = k - 1 - ell; // sigma-playing opponents
+        resident.push(ctx.ess_payoff(f, sigma, sigma, a, pi, ell)?);
+        mutant.push(ctx.ess_payoff(f, pi, sigma, a, pi, ell)?);
+    }
+    Ok(EssLedger { resident, mutant })
+}
+
+/// Apply the ESS characterization to one mutant.
+pub fn check_mutant(
+    ctx: &PayoffContext,
+    f: &ValueProfile,
+    sigma: &Strategy,
+    pi: &Strategy,
+) -> Result<MutantVerdict> {
+    let ledger = ess_ledger(ctx, f, sigma, pi)?;
+    let scale = ledger
+        .resident
+        .iter()
+        .chain(ledger.mutant.iter())
+        .fold(0.0f64, |acc, v| acc.max(v.abs()))
+        .max(1.0);
+    for ell in 0..ctx.k() {
+        let diff = ledger.resident[ell] - ledger.mutant[ell];
+        if diff > ESS_TOL * scale {
+            return Ok(MutantVerdict::Repelled { m: ell, margin: diff });
+        }
+        if diff < -ESS_TOL * scale {
+            return Ok(MutantVerdict::Invades { level: ell, deficit: -diff });
+        }
+    }
+    Ok(MutantVerdict::Indistinguishable)
+}
+
+/// Report from probing a candidate ESS with many mutants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EssReport {
+    /// Number of mutants tested.
+    pub mutants_tested: usize,
+    /// Number repelled with a strict margin.
+    pub repelled: usize,
+    /// Number indistinguishable from the resident.
+    pub indistinguishable: usize,
+    /// Mutants that successfully invade (empty iff the candidate passed).
+    pub invasions: Vec<(usize, f64)>,
+    /// The smallest strict repulsion margin observed (0 if none).
+    pub worst_margin: f64,
+}
+
+impl EssReport {
+    /// True when no probed mutant invades.
+    pub fn passed(&self) -> bool {
+        self.invasions.is_empty()
+    }
+}
+
+/// Probe `sigma` with a deterministic mutant family plus `random_mutants`
+/// uniformly sampled ones, for the `k`-player game.
+///
+/// The deterministic family contains the structured deviations that break
+/// non-ESS candidates in this game: point masses on each site, uniform,
+/// value-proportional, top-j uniform blends, and convex blends between
+/// `sigma` and each of those.
+pub fn probe_ess_k<R: Rng + ?Sized>(
+    c: &dyn Congestion,
+    f: &ValueProfile,
+    sigma: &Strategy,
+    random_mutants: usize,
+    rng: &mut R,
+    k: usize,
+) -> Result<EssReport> {
+    let ctx = PayoffContext::new(c, k)?;
+    let m = f.len();
+    let mut mutants: Vec<Strategy> = Vec::new();
+    for site in 0..m {
+        mutants.push(Strategy::delta(m, site)?);
+    }
+    mutants.push(Strategy::uniform(m)?);
+    mutants.push(Strategy::proportional(f.values())?);
+    for top in 1..=m {
+        mutants.push(Strategy::uniform_on_top(m, top)?);
+    }
+    // Blends toward structured deviations keep us near sigma, where
+    // first-order ties force the second-order condition to do the work.
+    let anchors: Vec<Strategy> = mutants.clone();
+    for anchor in &anchors {
+        for &w in &[0.1, 0.5] {
+            mutants.push(sigma.mix(anchor, w)?);
+        }
+    }
+    for _ in 0..random_mutants {
+        let weights: Vec<f64> = (0..m).map(|_| rng.gen::<f64>().max(1e-12)).collect();
+        mutants.push(Strategy::from_weights(weights)?);
+    }
+    let mut report = EssReport {
+        mutants_tested: 0,
+        repelled: 0,
+        indistinguishable: 0,
+        invasions: Vec::new(),
+        worst_margin: f64::INFINITY,
+    };
+    for (idx, pi) in mutants.iter().enumerate() {
+        if pi.linf_distance(sigma)? < 1e-12 {
+            continue;
+        }
+        report.mutants_tested += 1;
+        match check_mutant(&ctx, f, sigma, pi)? {
+            MutantVerdict::Repelled { margin, .. } => {
+                report.repelled += 1;
+                report.worst_margin = report.worst_margin.min(margin);
+            }
+            MutantVerdict::Indistinguishable => report.indistinguishable += 1,
+            MutantVerdict::Invades { deficit, .. } => report.invasions.push((idx, deficit)),
+        }
+    }
+    if !report.worst_margin.is_finite() {
+        report.worst_margin = 0.0;
+    }
+    Ok(report)
+}
+
+/// Estimate the invasion barrier `ε_π`: the largest `ε ∈ (0, 1]` such that
+/// the resident strictly out-earns the mutant in every population mixture
+/// with mutant share `ε' ≤ ε` (Eq. 3). Returns 0 when the mutant invades
+/// immediately.
+pub fn invasion_barrier(
+    ctx: &PayoffContext,
+    f: &ValueProfile,
+    sigma: &Strategy,
+    pi: &Strategy,
+    grid: usize,
+) -> Result<f64> {
+    if grid < 2 {
+        return Err(Error::InvalidArgument("invasion barrier grid must be >= 2".into()));
+    }
+    let advantage = |eps: f64| -> Result<f64> {
+        let u_sigma = ctx.mixture_payoff(f, sigma, sigma, pi, eps)?;
+        let u_pi = ctx.mixture_payoff(f, pi, sigma, pi, eps)?;
+        Ok(u_sigma - u_pi)
+    };
+    let mut last_good = 0.0;
+    for i in 1..=grid {
+        let eps = i as f64 / grid as f64;
+        if advantage(eps)? > 0.0 {
+            last_good = eps;
+        } else {
+            break;
+        }
+    }
+    Ok(last_good)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Exclusive, Sharing, TwoLevel};
+    use crate::sigma_star::sigma_star;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ledger_shape() {
+        let f = ValueProfile::new(vec![1.0, 0.3]).unwrap();
+        let ctx = PayoffContext::new(&Exclusive, 3).unwrap();
+        let s = sigma_star(&f, 3).unwrap().strategy;
+        let pi = Strategy::uniform(2).unwrap();
+        let ledger = ess_ledger(&ctx, &f, &s, &pi).unwrap();
+        assert_eq!(ledger.resident.len(), 3);
+        assert_eq!(ledger.mutant.len(), 3);
+    }
+
+    #[test]
+    fn ledger_requires_k_at_least_two() {
+        let f = ValueProfile::new(vec![1.0]).unwrap();
+        let ctx = PayoffContext::new(&Exclusive, 1).unwrap();
+        let s = Strategy::uniform(1).unwrap();
+        assert!(ess_ledger(&ctx, &f, &s, &s).is_err());
+    }
+
+    #[test]
+    fn sigma_star_repels_structured_mutants_theorem3() {
+        for (f, k) in [
+            (ValueProfile::new(vec![1.0, 0.3]).unwrap(), 2usize),
+            (ValueProfile::new(vec![1.0, 0.5]).unwrap(), 3),
+            (ValueProfile::zipf(6, 1.0, 1.0).unwrap(), 4),
+        ] {
+            let star = sigma_star(&f, k).unwrap().strategy;
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            let report = probe_ess_k(&Exclusive, &f, &star, 50, &mut rng, k).unwrap();
+            assert!(
+                report.passed(),
+                "k = {k}: invasions {:?}",
+                report.invasions
+            );
+            assert!(report.repelled > 0);
+        }
+    }
+
+    #[test]
+    fn off_support_mutant_repelled_at_level_zero() {
+        // Any mutant weighting sites beyond W loses already against pure
+        // sigma* opponents (m_pi = 0 in the paper's case analysis).
+        let f = ValueProfile::geometric(10, 1.0, 0.3).unwrap();
+        let k = 2;
+        let star = sigma_star(&f, k).unwrap();
+        assert!(star.support < 10, "need off-support sites for this test");
+        let ctx = PayoffContext::new(&Exclusive, k).unwrap();
+        let pi = Strategy::delta(10, 9).unwrap();
+        match check_mutant(&ctx, &f, &star.strategy, &pi).unwrap() {
+            MutantVerdict::Repelled { m, .. } => assert_eq!(m, 0),
+            other => panic!("expected repulsion at level 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn on_support_mutant_ties_level_zero_repelled_at_one() {
+        // A mutant inside the support earns the same against pure sigma*
+        // (nu is constant on the support) but loses at level 1 (Eq. 10/11).
+        let f = ValueProfile::new(vec![1.0, 0.5]).unwrap();
+        let k = 3;
+        let star = sigma_star(&f, k).unwrap();
+        assert_eq!(star.support, 2);
+        let ctx = PayoffContext::new(&Exclusive, k).unwrap();
+        let pi = Strategy::new(vec![0.7, 0.3]).unwrap();
+        match check_mutant(&ctx, &f, &star.strategy, &pi).unwrap() {
+            MutantVerdict::Repelled { m, margin } => {
+                assert_eq!(m, 1, "expected repulsion exactly at level 1");
+                assert!(margin > 0.0);
+            }
+            other => panic!("expected repulsion at level 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_equilibrium_candidate_is_invaded() {
+        // Uniform is not the IFD for a decreasing f, so some mutant invades.
+        let f = ValueProfile::new(vec![1.0, 0.2]).unwrap();
+        let k = 2;
+        let uniform = Strategy::uniform(2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let report = probe_ess_k(&Exclusive, &f, &uniform, 20, &mut rng, k).unwrap();
+        assert!(!report.passed(), "uniform should be invadable");
+    }
+
+    #[test]
+    fn sharing_ifd_is_ess_for_its_own_policy() {
+        // Under sharing, the IFD is also evolutionarily stable (classical
+        // result); our checker should agree on small instances.
+        let f = ValueProfile::new(vec![1.0, 0.5]).unwrap();
+        let k = 3;
+        let ifd = crate::ifd::solve_ifd(&Sharing, &f, k).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let report = probe_ess_k(&Sharing, &f, &ifd.strategy, 40, &mut rng, k).unwrap();
+        assert!(report.passed(), "invasions: {:?}", report.invasions);
+    }
+
+    #[test]
+    fn invasion_barrier_positive_for_sigma_star() {
+        let f = ValueProfile::new(vec![1.0, 0.4]).unwrap();
+        let k = 2;
+        let ctx = PayoffContext::new(&Exclusive, k).unwrap();
+        let star = sigma_star(&f, k).unwrap().strategy;
+        let pi = Strategy::uniform(2).unwrap();
+        let barrier = invasion_barrier(&ctx, &f, &star, &pi, 100).unwrap();
+        assert!(barrier > 0.0, "barrier = {barrier}");
+    }
+
+    #[test]
+    fn invasion_barrier_zero_when_mutant_dominates() {
+        // Resident = bad strategy (mass on worst site); best-response mutant
+        // invades at every epsilon.
+        let f = ValueProfile::new(vec![1.0, 0.1]).unwrap();
+        let k = 2;
+        let ctx = PayoffContext::new(&Exclusive, k).unwrap();
+        let resident = Strategy::delta(2, 1).unwrap();
+        let mutant = Strategy::delta(2, 0).unwrap();
+        let barrier = invasion_barrier(&ctx, &f, &resident, &mutant, 50).unwrap();
+        assert_eq!(barrier, 0.0);
+    }
+
+    #[test]
+    fn invasion_barrier_validates_grid() {
+        let f = ValueProfile::new(vec![1.0, 0.4]).unwrap();
+        let ctx = PayoffContext::new(&Exclusive, 2).unwrap();
+        let s = Strategy::uniform(2).unwrap();
+        assert!(invasion_barrier(&ctx, &f, &s, &s, 1).is_err());
+    }
+
+    #[test]
+    fn aggressive_two_level_ifd_still_ess() {
+        // The IFD of any strictly-decreasing congestion function is an ESS
+        // candidate; verify no structured mutant invades for c = -0.4.
+        let f = ValueProfile::new(vec![1.0, 0.5]).unwrap();
+        let k = 2;
+        let pol = TwoLevel { c: -0.4 };
+        let ifd = crate::ifd::solve_ifd(&pol, &f, k).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let report = probe_ess_k(&pol, &f, &ifd.strategy, 40, &mut rng, k).unwrap();
+        assert!(report.passed(), "invasions: {:?}", report.invasions);
+    }
+}

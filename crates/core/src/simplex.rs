@@ -1,0 +1,237 @@
+//! Projection onto the probability simplex and projected-gradient ascent.
+//!
+//! Shared by the independent optimality cross-checks (Theorem 4) and the
+//! welfare optimizer (Figure 1's blue curve). The projection is the O(M log
+//! M) sort-based algorithm of Held/Wolfe/Crowder (popularized by Duchi et
+//! al.).
+
+use crate::error::{Error, Result};
+use crate::strategy::Strategy;
+
+/// Euclidean projection of an arbitrary vector onto the probability simplex
+/// `{p : p ≥ 0, Σp = 1}`.
+pub fn project_to_simplex(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    debug_assert!(n > 0);
+    let mut sorted = v.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let mut cumsum = 0.0;
+    let mut rho = 0usize;
+    let mut theta = 0.0;
+    for (i, &u) in sorted.iter().enumerate() {
+        cumsum += u;
+        let candidate = (cumsum - 1.0) / (i as f64 + 1.0);
+        if u - candidate > 0.0 {
+            rho = i;
+            theta = candidate;
+        }
+    }
+    let _ = rho;
+    v.iter().map(|&x| (x - theta).max(0.0)).collect()
+}
+
+/// Result of a projected-gradient run.
+#[derive(Debug, Clone)]
+pub struct AscentResult {
+    /// Final point on the simplex.
+    pub point: Strategy,
+    /// Final objective value.
+    pub objective: f64,
+    /// Iterations actually used.
+    pub iterations: usize,
+    /// Final step-normalized improvement (convergence measure).
+    pub last_improvement: f64,
+}
+
+/// Configuration for [`projected_gradient_ascent`].
+#[derive(Debug, Clone, Copy)]
+pub struct AscentConfig {
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// Initial step size.
+    pub step: f64,
+    /// Armijo backtracking shrink factor in `(0, 1)`.
+    pub backtrack: f64,
+    /// Stop when an accepted step improves the objective by less than this.
+    pub tol: f64,
+}
+
+impl Default for AscentConfig {
+    fn default() -> Self {
+        Self { max_iters: 5_000, step: 0.5, backtrack: 0.5, tol: 1e-14 }
+    }
+}
+
+/// Maximize a smooth objective over the simplex by projected gradient
+/// ascent with Armijo backtracking.
+///
+/// `objective` and `gradient` are caller-supplied closures over probability
+/// vectors (always fed feasible points).
+pub fn projected_gradient_ascent<F, G>(
+    start: &Strategy,
+    objective: F,
+    gradient: G,
+    config: AscentConfig,
+) -> Result<AscentResult>
+where
+    F: Fn(&[f64]) -> f64,
+    G: Fn(&[f64]) -> Vec<f64>,
+{
+    if config.step <= 0.0 || !(0.0..1.0).contains(&config.backtrack) {
+        return Err(Error::InvalidArgument(format!(
+            "bad ascent config: step = {}, backtrack = {}",
+            config.step, config.backtrack
+        )));
+    }
+    let mut point = start.probs().to_vec();
+    let mut value = objective(&point);
+    let mut last_improvement = f64::INFINITY;
+    let mut iterations = 0usize;
+    for it in 0..config.max_iters {
+        iterations = it + 1;
+        let grad = gradient(&point);
+        let mut step = config.step;
+        let mut accepted = false;
+        // Backtrack until the projected step improves the objective.
+        for _ in 0..60 {
+            let candidate: Vec<f64> =
+                point.iter().zip(grad.iter()).map(|(p, g)| p + step * g).collect();
+            let projected = project_to_simplex(&candidate);
+            let cand_value = objective(&projected);
+            if cand_value > value {
+                last_improvement = cand_value - value;
+                point = projected;
+                value = cand_value;
+                accepted = true;
+                break;
+            }
+            step *= config.backtrack;
+        }
+        if !accepted || last_improvement < config.tol {
+            break;
+        }
+    }
+    Ok(AscentResult { point: Strategy::new(normalize(point))?, objective: value, iterations, last_improvement })
+}
+
+/// Clean round-off: clamp tiny negatives and renormalize exactly.
+fn normalize(mut v: Vec<f64>) -> Vec<f64> {
+    for x in v.iter_mut() {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+    let s: f64 = v.iter().sum();
+    if s > 0.0 {
+        for x in v.iter_mut() {
+            *x /= s;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b}");
+    }
+
+    #[test]
+    fn projection_of_feasible_point_is_identity() {
+        let p = vec![0.2, 0.3, 0.5];
+        let proj = project_to_simplex(&p);
+        for (a, b) in p.iter().zip(proj.iter()) {
+            close(*a, *b, 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_lands_on_simplex() {
+        let cases = vec![
+            vec![2.0, -1.0, 0.5],
+            vec![-5.0, -5.0],
+            vec![0.0, 0.0, 0.0, 10.0],
+            vec![1e9, 1e9],
+        ];
+        for v in cases {
+            let p = project_to_simplex(&v);
+            let sum: f64 = p.iter().sum();
+            close(sum, 1.0, 1e-9);
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn projection_matches_hand_example() {
+        // Project (1, 0.5): theta solves ... both positive:
+        // theta = (1.5 - 1)/2 = 0.25 -> (0.75, 0.25).
+        let p = project_to_simplex(&[1.0, 0.5]);
+        close(p[0], 0.75, 1e-12);
+        close(p[1], 0.25, 1e-12);
+    }
+
+    #[test]
+    fn projection_is_nonexpansive_vs_direct_search() {
+        // Compare against brute-force grid minimizer of ||p - v||^2 on the
+        // 2-simplex for a few points.
+        let v = [0.9, 0.4, -0.2];
+        let proj = project_to_simplex(&v);
+        let mut best = f64::INFINITY;
+        let mut best_p = [0.0; 3];
+        let n = 200;
+        for i in 0..=n {
+            for j in 0..=(n - i) {
+                let p = [i as f64 / n as f64, j as f64 / n as f64, (n - i - j) as f64 / n as f64];
+                let d: f64 = p.iter().zip(v.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+                if d < best {
+                    best = d;
+                    best_p = p;
+                }
+            }
+        }
+        for (a, b) in proj.iter().zip(best_p.iter()) {
+            assert!((a - b).abs() < 0.02, "{proj:?} vs {best_p:?}");
+        }
+    }
+
+    #[test]
+    fn ascent_solves_concave_quadratic() {
+        // Maximize -(p0 - 0.7)^2 - (p1 - 0.3)^2 on the simplex: optimum at
+        // (0.7, 0.3).
+        let start = Strategy::uniform(2).unwrap();
+        let result = projected_gradient_ascent(
+            &start,
+            |p| -(p[0] - 0.7).powi(2) - (p[1] - 0.3).powi(2),
+            |p| vec![-2.0 * (p[0] - 0.7), -2.0 * (p[1] - 0.3)],
+            AscentConfig::default(),
+        )
+        .unwrap();
+        close(result.point.prob(0), 0.7, 1e-6);
+        close(result.point.prob(1), 0.3, 1e-6);
+    }
+
+    #[test]
+    fn ascent_respects_boundary() {
+        // Maximize p0 (linear): optimum is the vertex (1, 0, 0).
+        let start = Strategy::uniform(3).unwrap();
+        let result = projected_gradient_ascent(
+            &start,
+            |p| p[0],
+            |_| vec![1.0, 0.0, 0.0],
+            AscentConfig::default(),
+        )
+        .unwrap();
+        close(result.point.prob(0), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn ascent_rejects_bad_config() {
+        let start = Strategy::uniform(2).unwrap();
+        let bad = AscentConfig { step: 0.0, ..Default::default() };
+        assert!(projected_gradient_ascent(&start, |_| 0.0, |_| vec![0.0, 0.0], bad).is_err());
+        let bad2 = AscentConfig { backtrack: 1.0, ..Default::default() };
+        assert!(projected_gradient_ascent(&start, |_| 0.0, |_| vec![0.0, 0.0], bad2).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Whole-policy evaluation: one call produces the full scorecard the
+//! experiments report for a `(C, f, k)` triple.
+
+use dispersal_core::coverage::coverage;
+use dispersal_core::ess::probe_ess_k;
+use dispersal_core::ifd::solve_ifd_allow_degenerate;
+use dispersal_core::optimal::optimal_coverage;
+use dispersal_core::payoff::PayoffContext;
+use dispersal_core::policy::Congestion;
+use dispersal_core::value::ValueProfile;
+use dispersal_core::welfare::welfare_optimum;
+use dispersal_core::Result;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A complete evaluation of one congestion policy on one instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyEvaluation {
+    /// Policy name.
+    pub policy: String,
+    /// Player count.
+    pub k: usize,
+    /// Number of sites.
+    pub m: usize,
+    /// Coverage of the policy's symmetric equilibrium (IFD).
+    pub equilibrium_coverage: f64,
+    /// Coverage of the optimal symmetric strategy `p⋆`.
+    pub optimal_coverage: f64,
+    /// `SPoA(C, f)`.
+    pub spoa: f64,
+    /// Expected individual payoff at equilibrium.
+    pub equilibrium_payoff: f64,
+    /// Best achievable symmetric individual payoff (welfare optimum).
+    pub welfare_payoff: f64,
+    /// Coverage of the welfare-optimal strategy.
+    pub welfare_coverage: f64,
+    /// IFD support size.
+    pub ifd_support: usize,
+    /// Whether the IFD survived the ESS mutant probe (None if not probed).
+    pub ess_passed: Option<bool>,
+}
+
+/// Evaluate policy `c` on `(f, k)`. When `ess_mutants > 0`, additionally
+/// probe the equilibrium with that many random mutants (plus the structured
+/// family) and record whether it resisted invasion.
+pub fn evaluate_policy<R: Rng + ?Sized>(
+    name: &str,
+    c: &dyn Congestion,
+    f: &ValueProfile,
+    k: usize,
+    ess_mutants: usize,
+    rng: &mut R,
+) -> Result<PolicyEvaluation> {
+    let ifd = solve_ifd_allow_degenerate(c, f, k)?;
+    let eq_cov = coverage(f, &ifd.strategy, k)?;
+    let opt = optimal_coverage(f, k)?;
+    let ctx = PayoffContext::new(c, k)?;
+    let eq_pay = ctx.symmetric_payoff(f, &ifd.strategy)?;
+    let welfare = welfare_optimum(c, f, k)?;
+    let welfare_cov = coverage(f, &welfare.strategy, k)?;
+    let ess_passed = if ess_mutants > 0 && k >= 2 && !ctx.is_degenerate() {
+        Some(probe_ess_k(c, f, &ifd.strategy, ess_mutants, rng, k)?.passed())
+    } else {
+        None
+    };
+    Ok(PolicyEvaluation {
+        policy: name.to_string(),
+        k,
+        m: f.len(),
+        equilibrium_coverage: eq_cov,
+        optimal_coverage: opt.coverage,
+        spoa: opt.coverage / eq_cov,
+        equilibrium_payoff: eq_pay,
+        welfare_payoff: welfare.payoff,
+        welfare_coverage: welfare_cov,
+        ifd_support: ifd.support,
+        ess_passed,
+    })
+}
+
+/// Evaluate the whole standard catalog on one instance.
+pub fn evaluate_catalog<R: Rng + ?Sized>(
+    f: &ValueProfile,
+    k: usize,
+    ess_mutants: usize,
+    rng: &mut R,
+) -> Result<Vec<PolicyEvaluation>> {
+    crate::catalog::standard_catalog()
+        .iter()
+        .map(|named| evaluate_policy(&named.name, named.policy.as_ref(), f, k, ess_mutants, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dispersal_core::policy::{Exclusive, Sharing};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exclusive_evaluation_has_unit_spoa_and_passes_ess() {
+        let f = ValueProfile::new(vec![1.0, 0.5, 0.25]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let eval = evaluate_policy("exclusive", &Exclusive, &f, 3, 20, &mut rng).unwrap();
+        assert!((eval.spoa - 1.0).abs() < 1e-7);
+        assert_eq!(eval.ess_passed, Some(true));
+        assert_eq!(eval.m, 3);
+        assert_eq!(eval.k, 3);
+        assert!(eval.welfare_payoff >= eval.equilibrium_payoff - 1e-9);
+    }
+
+    #[test]
+    fn sharing_evaluation_spoa_above_one_on_witness() {
+        let k = 3;
+        let f = ValueProfile::slow_decay_witness(4 * k, k).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let eval = evaluate_policy("sharing", &Sharing, &f, k, 0, &mut rng).unwrap();
+        assert!(eval.spoa > 1.0 + 1e-6, "spoa = {}", eval.spoa);
+        assert_eq!(eval.ess_passed, None);
+    }
+
+    #[test]
+    fn catalog_evaluation_runs_and_serializes() {
+        let f = ValueProfile::new(vec![1.0, 0.6, 0.3]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let evals = evaluate_catalog(&f, 2, 0, &mut rng).unwrap();
+        assert!(evals.len() >= 10);
+        let json = serde_json::to_string(&evals).unwrap();
+        assert!(json.contains("exclusive"));
+        // Exclusive should have the (weakly) best SPoA in the catalog.
+        let excl = evals.iter().find(|e| e.policy == "exclusive").unwrap();
+        for e in &evals {
+            assert!(excl.spoa <= e.spoa + 1e-7, "{} beats exclusive: {} < {}", e.policy, e.spoa, excl.spoa);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The Kleinberg–Oren reward-design baseline (\[23\] in the paper).
+//!
+//! Kleinberg & Oren incentivize an optimal distribution *without touching
+//! the congestion rule*: players are stuck with the sharing policy, and the
+//! designer instead changes the per-site rewards `r(x)` (grant sizes) so
+//! the sharing-policy equilibrium lands on a chosen target distribution.
+//!
+//! This module implements that mechanism for any strictly-decreasing-`g`
+//! congestion policy: given a target `p` with support on a prefix, set
+//! `r(x) = ν̄ / g(p(x))` on the support (all supported sites then share the
+//! common value ν̄) and anything strictly below ν̄ off the support.
+//!
+//! The contrast the paper draws (Section 1.6) is reproduced here as API
+//! facts: the construction **requires knowing `k`** (`g` depends on it) and
+//! **requires mutable rewards**, whereas the exclusive congestion policy
+//! achieves the same optimal coverage with fixed site values and no
+//! knowledge of `k`.
+
+use dispersal_core::payoff::PayoffContext;
+use dispersal_core::policy::Congestion;
+use dispersal_core::strategy::Strategy;
+use dispersal_core::value::ValueProfile;
+use dispersal_core::{Error, Result};
+
+/// The designed reward schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewardDesign {
+    /// Designed rewards per site (sorted non-increasing like a profile).
+    pub rewards: ValueProfile,
+    /// The common equilibrium value every supported site yields.
+    pub value: f64,
+    /// The player count the design is valid for.
+    pub k: usize,
+}
+
+/// Design rewards making `target` the IFD of policy `c` with `k` players.
+///
+/// `target` must be supported on a prefix of the sites (true for σ⋆ and
+/// every IFD of a sorted profile). The scale is normalized so the top
+/// site's reward is `top_reward`.
+pub fn design_rewards(
+    c: &dyn Congestion,
+    target: &Strategy,
+    k: usize,
+    top_reward: f64,
+) -> Result<RewardDesign> {
+    if !(top_reward.is_finite() && top_reward > 0.0) {
+        return Err(Error::InvalidArgument(format!("top_reward must be positive, got {top_reward}")));
+    }
+    let ctx = PayoffContext::new(c, k)?;
+    if ctx.is_degenerate() {
+        return Err(Error::DegeneratePolicy);
+    }
+    let m = target.len();
+    let support = target.support_size(1e-12);
+    // Prefix-support check.
+    for x in 0..support {
+        if target.prob(x) <= 1e-12 {
+            return Err(Error::InvalidArgument(
+                "target must be supported on a prefix of the sites".into(),
+            ));
+        }
+    }
+    // r(x) = nu / g(p(x)); normalize so r(0) = top_reward.
+    let g0 = ctx.g(target.prob(0));
+    if g0 <= 0.0 {
+        return Err(Error::InvalidArgument(
+            "target is too crowded at the top site: its congestion response is non-positive, \
+             so no positive reward can equalize values"
+                .into(),
+        ));
+    }
+    let nu = top_reward * g0;
+    let mut rewards = Vec::with_capacity(m);
+    for x in 0..support {
+        let gx = ctx.g(target.prob(x));
+        if gx <= 0.0 {
+            return Err(Error::InvalidArgument(format!(
+                "target probability {} at site {x} drives the congestion response non-positive",
+                target.prob(x)
+            )));
+        }
+        rewards.push(nu / gx);
+    }
+    // Off-support sites must be strictly unattractive: value when visited
+    // alone is r(x)·g(0) = r(x), so any r(x) < nu works.
+    for _ in support..m {
+        rewards.push(nu * 0.9);
+    }
+    Ok(RewardDesign { rewards: ValueProfile::new(rewards)?, value: nu, k })
+}
+
+/// Verify a design: solve the IFD under `(c, rewards, k)` and return the
+/// distance to the intended target.
+pub fn verify_design(
+    c: &dyn Congestion,
+    design: &RewardDesign,
+    target: &Strategy,
+) -> Result<f64> {
+    let ifd = dispersal_core::ifd::solve_ifd(c, &design.rewards, design.k)?;
+    ifd.strategy.linf_distance(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dispersal_core::coverage::coverage;
+    use dispersal_core::optimal::optimal_coverage;
+    use dispersal_core::policy::Sharing;
+    use dispersal_core::sigma_star::sigma_star;
+
+    #[test]
+    fn designed_rewards_steer_sharing_to_sigma_star() {
+        // The head-line Kleinberg-Oren use case: make the sharing policy's
+        // equilibrium equal the coverage-optimal sigma* of the true values.
+        let f = ValueProfile::new(vec![1.0, 0.5, 0.25]).unwrap();
+        let k = 3;
+        let star = sigma_star(&f, k).unwrap().strategy;
+        let design = design_rewards(&Sharing, &star, k, 1.0).unwrap();
+        let err = verify_design(&Sharing, &design, &star).unwrap();
+        assert!(err < 1e-8, "design error {err}");
+        // Coverage of the induced equilibrium w.r.t. the TRUE values is
+        // optimal.
+        let opt = optimal_coverage(&f, k).unwrap();
+        let induced = dispersal_core::ifd::solve_ifd(&Sharing, &design.rewards, k).unwrap();
+        let cov = coverage(&f, &induced.strategy, k).unwrap();
+        assert!((cov - opt.coverage).abs() < 1e-7, "coverage {cov} vs optimal {}", opt.coverage);
+    }
+
+    #[test]
+    fn design_depends_on_k() {
+        // The same target needs different rewards for different k — the
+        // paper's criticism that [23] requires knowing the player count.
+        let f = ValueProfile::new(vec![1.0, 0.5, 0.25]).unwrap();
+        let target = sigma_star(&f, 3).unwrap().strategy;
+        let d3 = design_rewards(&Sharing, &target, 3, 1.0).unwrap();
+        let d5 = design_rewards(&Sharing, &target, 5, 1.0).unwrap();
+        let diff: f64 = d3
+            .rewards
+            .values()
+            .iter()
+            .zip(d5.rewards.values().iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(diff > 1e-3, "rewards should differ across k, max diff {diff}");
+    }
+
+    #[test]
+    fn rewards_are_increasing_in_target_probability() {
+        // More-visited sites need higher rewards to compensate congestion.
+        let target = Strategy::new(vec![0.5, 0.3, 0.2]).unwrap();
+        let design = design_rewards(&Sharing, &target, 4, 1.0).unwrap();
+        let r = design.rewards.values();
+        assert!(r[0] > r[1] && r[1] > r[2]);
+    }
+
+    #[test]
+    fn off_support_sites_stay_empty() {
+        let target = Strategy::new(vec![0.7, 0.3, 0.0, 0.0]).unwrap();
+        let design = design_rewards(&Sharing, &target, 2, 1.0).unwrap();
+        let ifd = dispersal_core::ifd::solve_ifd(&Sharing, &design.rewards, 2).unwrap();
+        assert!(ifd.strategy.prob(2) < 1e-9);
+        assert!(ifd.strategy.prob(3) < 1e-9);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let target = Strategy::new(vec![0.7, 0.3]).unwrap();
+        assert!(design_rewards(&Sharing, &target, 2, 0.0).is_err());
+        assert!(design_rewards(&Sharing, &target, 2, f64::NAN).is_err());
+        // Non-prefix support rejected.
+        let holey = Strategy::new(vec![0.7, 0.0, 0.3]).unwrap();
+        assert!(design_rewards(&Sharing, &holey, 2, 1.0).is_err());
+        // Degenerate policy rejected.
+        assert!(design_rewards(&dispersal_core::policy::Constant, &target, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn aggressive_policy_crowding_rejected() {
+        // Under strong aggression a heavily-loaded site has negative g, so
+        // no positive reward can equalize values — the designer's tool
+        // breaks where congestion costs are severe.
+        let target = Strategy::new(vec![0.95, 0.05]).unwrap();
+        let agg = dispersal_core::policy::TwoLevel { c: -1.0 };
+        let result = design_rewards(&agg, &target, 8, 1.0);
+        assert!(result.is_err());
+    }
+}

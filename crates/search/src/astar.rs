@@ -1,0 +1,164 @@
+//! Iterated-σ⋆ search: our reconstruction of the A⋆ algorithm of
+//! Korman–Rodeh \[24\].
+//!
+//! The paper proves (Section 2.1) that σ⋆ *is* the first round of A⋆. The
+//! full multi-round A⋆ is not reproduced in the paper, so we reconstruct
+//! the natural extension, documented in DESIGN.md: before round `t`, the
+//! posterior probability that box `x` still hides the treasure **and** is
+//! undiscovered is `w_t(x) ∝ prior(x)·Π_{s<t} (1 − p_s(x))^k`; round `t`
+//! plays σ⋆ on that posterior weight vector. Round 1 uses the bare prior,
+//! so the identity with the paper's σ⋆ is exact where it matters.
+//!
+//! Because the posterior weights need not stay sorted, each round sorts the
+//! weights, computes σ⋆ in sorted space, and maps back to box identities.
+
+use crate::plan::SearchPlan;
+use crate::prior::Prior;
+use dispersal_core::sigma_star::sigma_star;
+use dispersal_core::strategy::Strategy;
+use dispersal_core::value::ValueProfile;
+use dispersal_core::{Error, Result};
+
+/// Compute σ⋆ for an *unsorted* positive weight vector by sorting, solving,
+/// and undoing the permutation.
+pub fn sigma_star_unsorted(weights: &[f64], k: usize) -> Result<Strategy> {
+    let m = weights.len();
+    if m == 0 {
+        return Err(Error::EmptyProfile);
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let sorted: Vec<f64> = order.iter().map(|&i| weights[i]).collect();
+    let profile = ValueProfile::new(sorted)?;
+    let star = sigma_star(&profile, k)?;
+    let mut probs = vec![0.0; m];
+    for (rank, &box_id) in order.iter().enumerate() {
+        probs[box_id] = star.strategy.prob(rank);
+    }
+    Strategy::new(probs)
+}
+
+/// The iterated-σ⋆ plan (reconstruction of A⋆).
+#[derive(Debug, Clone)]
+pub struct IteratedSigmaStar {
+    k: usize,
+    /// Posterior weight that box `x` hides the treasure and is still
+    /// unopened by everyone.
+    weights: Vec<f64>,
+    /// Memoized rounds already computed.
+    rounds: Vec<Strategy>,
+}
+
+impl IteratedSigmaStar {
+    /// Build the plan for `k` searchers over `prior`.
+    pub fn new(prior: &Prior, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidPlayerCount { k });
+        }
+        Ok(Self { k, weights: (0..prior.len()).map(|x| prior.mass(x)).collect(), rounds: Vec::new() })
+    }
+
+    fn extend_to(&mut self, t: usize) {
+        while self.rounds.len() <= t {
+            // Floor the weights: once a box is (almost surely) exhausted its
+            // weight underflows; keep a tiny positive mass so ValueProfile
+            // stays valid. These boxes get ~zero probability anyway.
+            let floored: Vec<f64> = self.weights.iter().map(|&w| w.max(1e-300)).collect();
+            let strategy = sigma_star_unsorted(&floored, self.k)
+                .expect("positive weights always yield a valid sigma-star");
+            for (w, p) in self.weights.iter_mut().zip(strategy.probs().iter()) {
+                *w *= (1.0 - p).powi(self.k as i32);
+            }
+            self.rounds.push(strategy);
+        }
+    }
+}
+
+impl SearchPlan for IteratedSigmaStar {
+    fn round(&mut self, t: usize) -> Strategy {
+        self.extend_to(t);
+        self.rounds[t].clone()
+    }
+
+    fn name(&self) -> String {
+        format!("iterated-sigma-star(k={})", self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_one_is_sigma_star_on_prior() {
+        // The identity the paper states: A* round 1 == sigma*(prior).
+        let prior = Prior::zipf(12, 1.0).unwrap();
+        let k = 3;
+        let mut plan = IteratedSigmaStar::new(&prior, k).unwrap();
+        let round1 = plan.round(0);
+        let direct = sigma_star(prior.profile(), k).unwrap().strategy;
+        let d = round1.linf_distance(&direct).unwrap();
+        assert!(d < 1e-12, "distance {d}");
+    }
+
+    #[test]
+    fn sigma_star_unsorted_matches_sorted() {
+        let weights = vec![0.2, 1.0, 0.5];
+        let k = 2;
+        let s = sigma_star_unsorted(&weights, k).unwrap();
+        let sorted_profile = ValueProfile::new(vec![1.0, 0.5, 0.2]).unwrap();
+        let sorted = sigma_star(&sorted_profile, k).unwrap().strategy;
+        // Box 1 (weight 1.0) should carry the top-rank probability, etc.
+        assert!((s.prob(1) - sorted.prob(0)).abs() < 1e-12);
+        assert!((s.prob(2) - sorted.prob(1)).abs() < 1e-12);
+        assert!((s.prob(0) - sorted.prob(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_star_unsorted_validates() {
+        assert!(sigma_star_unsorted(&[], 2).is_err());
+        assert!(IteratedSigmaStar::new(&Prior::uniform(3).unwrap(), 0).is_err());
+    }
+
+    #[test]
+    fn posterior_weights_shift_mass_to_unexplored_boxes() {
+        // With a steep prior, round 1 concentrates on the top boxes; later
+        // rounds must spread to the tail as the top is exhausted.
+        let prior = Prior::geometric(10, 0.5).unwrap();
+        let k = 2;
+        let mut plan = IteratedSigmaStar::new(&prior, k).unwrap();
+        let r0 = plan.round(0);
+        // The sigma-star support of this steep prior is 2 boxes, so round 1
+        // ignores boxes 2.. entirely; as those top boxes are exhausted the
+        // posterior pushes probability beyond the initial support.
+        let support0 = r0.support_size(1e-12);
+        assert_eq!(support0, 2, "initial support");
+        let r8 = plan.round(8);
+        let beyond_r0: f64 = (support0..10).map(|x| r0.prob(x)).sum();
+        let beyond_r8: f64 = (support0..10).map(|x| r8.prob(x)).sum();
+        assert_eq!(beyond_r0, 0.0);
+        assert!(beyond_r8 > 0.0, "mass beyond the initial support should grow: {beyond_r8}");
+    }
+
+    #[test]
+    fn rounds_are_memoized_and_stable() {
+        let prior = Prior::uniform(5).unwrap();
+        let mut plan = IteratedSigmaStar::new(&prior, 2).unwrap();
+        let a = plan.round(2);
+        let b = plan.round(2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_prior_stays_uniform() {
+        // Symmetry: with a uniform prior every round is uniform.
+        let prior = Prior::uniform(6).unwrap();
+        let mut plan = IteratedSigmaStar::new(&prior, 3).unwrap();
+        for t in 0..4 {
+            let r = plan.round(t);
+            for x in 0..6 {
+                assert!((r.prob(x) - 1.0 / 6.0).abs() < 1e-9, "round {t} box {x}: {}", r.prob(x));
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Baseline non-coordinating search plans to compare against iterated σ⋆.
+
+use crate::plan::SearchPlan;
+use crate::prior::Prior;
+use dispersal_core::strategy::Strategy;
+
+/// Every round, every searcher samples uniformly over all boxes.
+#[derive(Debug, Clone)]
+pub struct UniformPlan {
+    m: usize,
+}
+
+impl UniformPlan {
+    /// Build over `m` boxes.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0);
+        Self { m }
+    }
+}
+
+impl SearchPlan for UniformPlan {
+    fn round(&mut self, _t: usize) -> Strategy {
+        Strategy::uniform(self.m).expect("m > 0")
+    }
+
+    fn name(&self) -> String {
+        "uniform".to_string()
+    }
+}
+
+/// Every round, every searcher samples proportionally to the prior — the
+/// "probability matching" heuristic.
+#[derive(Debug, Clone)]
+pub struct ProportionalPlan {
+    strategy: Strategy,
+}
+
+impl ProportionalPlan {
+    /// Build over a prior.
+    pub fn new(prior: &Prior) -> Self {
+        let probs: Vec<f64> = (0..prior.len()).map(|x| prior.mass(x)).collect();
+        Self { strategy: Strategy::new(probs).expect("prior is a distribution") }
+    }
+}
+
+impl SearchPlan for ProportionalPlan {
+    fn round(&mut self, _t: usize) -> Strategy {
+        self.strategy.clone()
+    }
+
+    fn name(&self) -> String {
+        "prior-proportional".to_string()
+    }
+}
+
+/// Deterministic sweep: in round `t` everyone opens box `t mod M` — the
+/// fully-colliding baseline a coordinated group would never use, isolating
+/// the cost of total overlap.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    m: usize,
+}
+
+impl SweepPlan {
+    /// Build over `m` boxes.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0);
+        Self { m }
+    }
+}
+
+impl SearchPlan for SweepPlan {
+    fn round(&mut self, t: usize) -> Strategy {
+        Strategy::delta(self.m, t % self.m).expect("index in range")
+    }
+
+    fn name(&self) -> String {
+        "deterministic-sweep".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_plan_rounds() {
+        let mut plan = UniformPlan::new(4);
+        let r = plan.round(0);
+        assert_eq!(r.probs(), &[0.25; 4]);
+        assert_eq!(plan.name(), "uniform");
+    }
+
+    #[test]
+    fn proportional_plan_matches_prior() {
+        let prior = Prior::from_weights(vec![3.0, 1.0]).unwrap();
+        let mut plan = ProportionalPlan::new(&prior);
+        let r = plan.round(5);
+        assert!((r.prob(0) - 0.75).abs() < 1e-12);
+        assert_eq!(plan.name(), "prior-proportional");
+    }
+
+    #[test]
+    fn sweep_plan_cycles() {
+        let mut plan = SweepPlan::new(3);
+        assert_eq!(plan.round(0).prob(0), 1.0);
+        assert_eq!(plan.round(1).prob(1), 1.0);
+        assert_eq!(plan.round(3).prob(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_plan_rejects_zero_boxes() {
+        UniformPlan::new(0);
+    }
+}

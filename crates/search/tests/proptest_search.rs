@@ -1,0 +1,76 @@
+//! Crate-level property tests for `dispersal-search`.
+
+use dispersal_search::analysis::round_success_probability;
+use dispersal_search::astar::IteratedSigmaStar;
+use dispersal_search::baselines::UniformPlan;
+use dispersal_search::game::evaluate_plan;
+use dispersal_search::plan::SearchPlan;
+use dispersal_search::prior::Prior;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+fn weights() -> impl PropStrategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.05f64..5.0, 2..=12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn round_one_maximizes_round_success(ws in weights(), k in 1usize..=6) {
+        // Round 1 of the plan maximizes the single-round detection
+        // probability among the tested alternatives (it IS the coverage
+        // optimizer).
+        let prior = Prior::from_weights(ws).unwrap();
+        let mut plan = IteratedSigmaStar::new(&prior, k).unwrap();
+        let round1 = plan.round(0);
+        let star_success = round_success_probability(&prior, &round1, k).unwrap();
+        let m = prior.len();
+        let alternatives = [
+            dispersal_core::strategy::Strategy::uniform(m).unwrap(),
+            dispersal_core::strategy::Strategy::delta(m, 0).unwrap(),
+            dispersal_core::strategy::Strategy::uniform_on_top(m, k.min(m)).unwrap(),
+        ];
+        for alt in &alternatives {
+            let alt_success = round_success_probability(&prior, alt, k).unwrap();
+            prop_assert!(alt_success <= star_success + 1e-9);
+        }
+        prop_assert!(star_success > 0.0 && star_success <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn expected_rounds_at_least_one_and_success_valid(ws in weights(), k in 1usize..=5) {
+        let prior = Prior::from_weights(ws).unwrap();
+        let mut plan = IteratedSigmaStar::new(&prior, k).unwrap();
+        let eval = evaluate_plan(&mut plan, &prior, k, 80).unwrap();
+        prop_assert!(eval.expected_rounds >= 1.0 - 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&eval.success_probability));
+        prop_assert_eq!(eval.success_by_round.len(), 80);
+    }
+
+    #[test]
+    fn astar_never_slower_than_uniform(ws in weights(), k in 1usize..=5) {
+        let prior = Prior::from_weights(ws).unwrap();
+        let m = prior.len();
+        let mut astar = IteratedSigmaStar::new(&prior, k).unwrap();
+        let a = evaluate_plan(&mut astar, &prior, k, 200).unwrap();
+        let mut uni = UniformPlan::new(m);
+        let u = evaluate_plan(&mut uni, &prior, k, 200).unwrap();
+        prop_assert!(
+            a.expected_rounds <= u.expected_rounds + 1e-6,
+            "astar {} vs uniform {}",
+            a.expected_rounds,
+            u.expected_rounds
+        );
+    }
+
+    #[test]
+    fn round_distributions_always_valid(ws in weights(), k in 1usize..=4, t in 0usize..20) {
+        let prior = Prior::from_weights(ws).unwrap();
+        let mut plan = IteratedSigmaStar::new(&prior, k).unwrap();
+        let r = plan.round(t);
+        let sum: f64 = r.probs().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(r.probs().iter().all(|&p| p >= 0.0));
+    }
+}

@@ -1,0 +1,269 @@
+//! Empirical ESS invasion experiments (Section 1.4, Eq. 3).
+//!
+//! A population holds residents playing `σ` and a fraction `ε` of mutants
+//! playing `π`. Repeatedly, `k` individuals are drawn i.i.d. from the
+//! population and play the one-shot game; we record the average payoff of
+//! residents and mutants. Theorem 3 predicts residents strictly out-earn
+//! mutants for small `ε` when `σ = σ⋆` under the exclusive policy.
+
+use crate::rng::Seed;
+use crate::stats::{Estimate, Welford};
+use dispersal_core::payoff::PayoffContext;
+use dispersal_core::policy::Congestion;
+use dispersal_core::strategy::{Strategy, StrategySampler};
+use dispersal_core::value::ValueProfile;
+use dispersal_core::{Error, Result};
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for an invasion experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InvasionConfig {
+    /// Mutant share `ε ∈ (0, 1)`.
+    pub epsilon: f64,
+    /// Number of sampled k-tuples.
+    pub matches: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Shard count for parallel execution.
+    pub shards: u64,
+}
+
+impl Default for InvasionConfig {
+    fn default() -> Self {
+        Self { epsilon: 0.05, matches: 200_000, seed: 0xBEEF, shards: 32 }
+    }
+}
+
+/// Result of an invasion experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InvasionReport {
+    /// Average payoff of resident-strategy players.
+    pub resident_payoff: Estimate,
+    /// Average payoff of mutant-strategy players.
+    pub mutant_payoff: Estimate,
+    /// Difference resident − mutant.
+    pub advantage: f64,
+    /// The analytic prediction of the advantage from Eq. (3).
+    pub analytic_advantage: f64,
+}
+
+impl InvasionReport {
+    /// Whether the resident strictly out-earns the mutant, with the CI
+    /// separating the estimates from zero advantage.
+    pub fn resident_wins(&self) -> bool {
+        self.advantage > 0.0
+    }
+}
+
+/// Run the invasion experiment.
+pub fn run_invasion(
+    c: &dyn Congestion,
+    f: &ValueProfile,
+    resident: &Strategy,
+    mutant: &Strategy,
+    k: usize,
+    config: InvasionConfig,
+) -> Result<InvasionReport> {
+    if resident.len() != f.len() {
+        return Err(Error::DimensionMismatch { strategy: resident.len(), profile: f.len() });
+    }
+    if mutant.len() != f.len() {
+        return Err(Error::DimensionMismatch { strategy: mutant.len(), profile: f.len() });
+    }
+    if !(0.0 < config.epsilon && config.epsilon < 1.0) {
+        return Err(Error::InvalidArgument(format!(
+            "epsilon must be in (0, 1), got {}",
+            config.epsilon
+        )));
+    }
+    let ctx = PayoffContext::new(c, k)?;
+    // Analytic prediction: U[sigma; mix] - U[pi; mix] (Eq. 3 collapses to
+    // the mixture-field payoff for i.i.d. opponents).
+    let analytic_advantage = ctx.mixture_payoff(f, resident, resident, mutant, config.epsilon)?
+        - ctx.mixture_payoff(f, mutant, resident, mutant, config.epsilon)?;
+    let res_sampler = StrategySampler::new(resident);
+    let mut_sampler = StrategySampler::new(mutant);
+    let c_table = ctx.c_table().to_vec();
+    let shards = config.shards.max(1);
+    let per_shard = config.matches / shards;
+    let remainder = config.matches % shards;
+    let seed = Seed(config.seed);
+    let m = f.len();
+    let acc: Vec<(Welford, Welford)> = (0..shards)
+        .into_par_iter()
+        .map(|shard| {
+            let mut rng = seed.stream(shard + 1);
+            let n = per_shard + if shard < remainder { 1 } else { 0 };
+            let mut res_acc = Welford::new();
+            let mut mut_acc = Welford::new();
+            let mut occupancy = vec![0usize; m];
+            let mut choices = vec![(0usize, false); k];
+            for _ in 0..n {
+                occupancy.iter_mut().for_each(|o| *o = 0);
+                for slot in choices.iter_mut() {
+                    let is_mutant = rng.gen::<f64>() < config.epsilon;
+                    let site = if is_mutant {
+                        mut_sampler.sample(&mut rng)
+                    } else {
+                        res_sampler.sample(&mut rng)
+                    };
+                    occupancy[site] += 1;
+                    *slot = (site, is_mutant);
+                }
+                for &(site, is_mutant) in &choices {
+                    let payoff = f.value(site) * c_table[occupancy[site] - 1];
+                    if is_mutant {
+                        mut_acc.push(payoff);
+                    } else {
+                        res_acc.push(payoff);
+                    }
+                }
+            }
+            (res_acc, mut_acc)
+        })
+        .collect();
+    let mut res_total = Welford::new();
+    let mut mut_total = Welford::new();
+    for (r, mu) in &acc {
+        res_total.merge(r);
+        mut_total.merge(mu);
+    }
+    let resident_payoff = Estimate::from_welford(&res_total);
+    let mutant_payoff = Estimate::from_welford(&mut_total);
+    Ok(InvasionReport {
+        resident_payoff,
+        mutant_payoff,
+        advantage: resident_payoff.mean - mutant_payoff.mean,
+        analytic_advantage,
+    })
+}
+
+/// Sweep the mutant share over a grid, returning `(ε, report)` pairs —
+/// the empirical invasion-barrier curve.
+pub fn invasion_sweep(
+    c: &dyn Congestion,
+    f: &ValueProfile,
+    resident: &Strategy,
+    mutant: &Strategy,
+    k: usize,
+    epsilons: &[f64],
+    base: InvasionConfig,
+) -> Result<Vec<(f64, InvasionReport)>> {
+    epsilons
+        .iter()
+        .map(|&eps| {
+            let config = InvasionConfig { epsilon: eps, ..base };
+            run_invasion(c, f, resident, mutant, k, config).map(|r| (eps, r))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dispersal_core::policy::{Exclusive, Sharing};
+    use dispersal_core::sigma_star::sigma_star;
+
+    #[test]
+    fn sigma_star_resists_uniform_invader() {
+        let f = ValueProfile::new(vec![1.0, 0.4]).unwrap();
+        let k = 2;
+        let star = sigma_star(&f, k).unwrap().strategy;
+        let mutant = Strategy::uniform(2).unwrap();
+        let report = run_invasion(
+            &Exclusive,
+            &f,
+            &star,
+            &mutant,
+            k,
+            InvasionConfig { epsilon: 0.2, matches: 600_000, seed: 3, shards: 16 },
+        )
+        .unwrap();
+        assert!(report.analytic_advantage > 0.0);
+        assert!(
+            report.resident_wins(),
+            "resident {} vs mutant {}",
+            report.resident_payoff.mean,
+            report.mutant_payoff.mean
+        );
+    }
+
+    #[test]
+    fn empirical_matches_analytic_advantage() {
+        let f = ValueProfile::new(vec![1.0, 0.6, 0.2]).unwrap();
+        let k = 3;
+        let star = sigma_star(&f, k).unwrap().strategy;
+        let mutant = Strategy::proportional(f.values()).unwrap();
+        let report = run_invasion(
+            &Exclusive,
+            &f,
+            &star,
+            &mutant,
+            k,
+            InvasionConfig { epsilon: 0.2, matches: 500_000, seed: 8, shards: 16 },
+        )
+        .unwrap();
+        let tol = report.resident_payoff.ci95 + report.mutant_payoff.ci95 + 1e-3;
+        assert!(
+            (report.advantage - report.analytic_advantage).abs() < tol,
+            "empirical {} vs analytic {}",
+            report.advantage,
+            report.analytic_advantage
+        );
+    }
+
+    #[test]
+    fn bad_resident_is_invaded() {
+        // Resident parks on the worst site; best-responding mutant wins.
+        let f = ValueProfile::new(vec![1.0, 0.1]).unwrap();
+        let resident = Strategy::delta(2, 1).unwrap();
+        let mutant = Strategy::delta(2, 0).unwrap();
+        let report = run_invasion(
+            &Exclusive,
+            &f,
+            &resident,
+            &mutant,
+            2,
+            InvasionConfig { epsilon: 0.1, matches: 100_000, seed: 4, shards: 8 },
+        )
+        .unwrap();
+        assert!(report.analytic_advantage < 0.0);
+        assert!(!report.resident_wins());
+    }
+
+    #[test]
+    fn sweep_produces_monotone_grid() {
+        let f = ValueProfile::new(vec![1.0, 0.5]).unwrap();
+        let k = 2;
+        let star = sigma_star(&f, k).unwrap().strategy;
+        let mutant = Strategy::uniform(2).unwrap();
+        let eps = [0.05, 0.25, 0.5];
+        let sweep = invasion_sweep(
+            &Sharing,
+            &f,
+            &star,
+            &mutant,
+            k,
+            &eps,
+            InvasionConfig { matches: 50_000, seed: 5, shards: 8, epsilon: 0.1 },
+        )
+        .unwrap();
+        assert_eq!(sweep.len(), 3);
+        for ((e, _), expect) in sweep.iter().zip(eps.iter()) {
+            assert_eq!(e, expect);
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let f = ValueProfile::new(vec![1.0, 0.5]).unwrap();
+        let s2 = Strategy::uniform(2).unwrap();
+        let s3 = Strategy::uniform(3).unwrap();
+        assert!(run_invasion(&Exclusive, &f, &s3, &s2, 2, InvasionConfig::default()).is_err());
+        assert!(run_invasion(&Exclusive, &f, &s2, &s3, 2, InvasionConfig::default()).is_err());
+        let bad = InvasionConfig { epsilon: 0.0, ..Default::default() };
+        assert!(run_invasion(&Exclusive, &f, &s2, &s2, 2, bad).is_err());
+    }
+}

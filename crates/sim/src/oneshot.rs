@@ -1,0 +1,249 @@
+//! One-shot dispersal-game sampler.
+//!
+//! Draws one play of the game: each of the `k` players independently samples
+//! a site from its strategy, collision counts are tallied, and payoffs and
+//! coverage are computed under a congestion policy. This is the empirical
+//! ground truth against which the analytic formulas of `dispersal-core`
+//! (coverage, ν-values, ESS payoffs) are validated.
+
+use dispersal_core::payoff::PayoffContext;
+use dispersal_core::strategy::{Strategy, StrategySampler};
+use dispersal_core::value::ValueProfile;
+use dispersal_core::{Error, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a single one-shot play.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Outcome {
+    /// Site chosen by each player (0-based).
+    pub choices: Vec<usize>,
+    /// Number of players at each site.
+    pub occupancy: Vec<usize>,
+    /// Payoff received by each player under the policy.
+    pub payoffs: Vec<f64>,
+    /// Realized coverage: sum of values over visited sites.
+    pub coverage: f64,
+    /// Number of sites with at least two players (collision sites).
+    pub collision_sites: usize,
+    /// Number of players involved in a collision.
+    pub colliding_players: usize,
+}
+
+/// A reusable one-shot game simulator for a fixed `(f, C, k)` and symmetric
+/// strategy. Precomputes the alias sampler and payoff table.
+pub struct OneShotGame<'a> {
+    f: &'a ValueProfile,
+    ctx: PayoffContext,
+    samplers: Vec<StrategySampler>,
+    occupancy: Vec<usize>,
+}
+
+impl<'a> OneShotGame<'a> {
+    /// Build a symmetric game: all `k` players use `strategy`.
+    pub fn symmetric(
+        f: &'a ValueProfile,
+        c: &dyn dispersal_core::policy::Congestion,
+        strategy: &Strategy,
+        k: usize,
+    ) -> Result<Self> {
+        if strategy.len() != f.len() {
+            return Err(Error::DimensionMismatch { strategy: strategy.len(), profile: f.len() });
+        }
+        let ctx = PayoffContext::new(c, k)?;
+        let sampler = StrategySampler::new(strategy);
+        Ok(Self { f, ctx, samplers: vec![sampler; k], occupancy: vec![0; f.len()] })
+    }
+
+    /// Build an asymmetric game: player `i` uses `profile[i]`.
+    pub fn asymmetric(
+        f: &'a ValueProfile,
+        c: &dyn dispersal_core::policy::Congestion,
+        profile: &[Strategy],
+    ) -> Result<Self> {
+        if profile.is_empty() {
+            return Err(Error::InvalidPlayerCount { k: 0 });
+        }
+        for s in profile {
+            if s.len() != f.len() {
+                return Err(Error::DimensionMismatch { strategy: s.len(), profile: f.len() });
+            }
+        }
+        let ctx = PayoffContext::new(c, profile.len())?;
+        let samplers = profile.iter().map(StrategySampler::new).collect();
+        Ok(Self { f, ctx, samplers, occupancy: vec![0; f.len()] })
+    }
+
+    /// Number of players.
+    pub fn k(&self) -> usize {
+        self.samplers.len()
+    }
+
+    /// Play one round, returning the full outcome (allocates the outcome
+    /// vectors; use [`Self::play_coverage`] in tight loops that only need
+    /// scalar statistics).
+    pub fn play<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Outcome {
+        let k = self.samplers.len();
+        let mut choices = Vec::with_capacity(k);
+        self.occupancy.iter_mut().for_each(|o| *o = 0);
+        for sampler in &self.samplers {
+            let site = sampler.sample(rng);
+            self.occupancy[site] += 1;
+            choices.push(site);
+        }
+        let c_table = self.ctx.c_table();
+        let payoffs: Vec<f64> = choices
+            .iter()
+            .map(|&site| self.f.value(site) * c_table[self.occupancy[site] - 1])
+            .collect();
+        let mut coverage = 0.0;
+        let mut collision_sites = 0;
+        let mut colliding_players = 0;
+        for (site, &occ) in self.occupancy.iter().enumerate() {
+            if occ > 0 {
+                coverage += self.f.value(site);
+            }
+            if occ > 1 {
+                collision_sites += 1;
+                colliding_players += occ;
+            }
+        }
+        Outcome {
+            choices,
+            occupancy: self.occupancy.clone(),
+            payoffs,
+            coverage,
+            collision_sites,
+            colliding_players,
+        }
+    }
+
+    /// Play one round returning only `(coverage, payoff of player 0)` —
+    /// the allocation-free fast path for Monte-Carlo estimation.
+    pub fn play_coverage<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (f64, f64) {
+        self.occupancy.iter_mut().for_each(|o| *o = 0);
+        let mut first_site = 0usize;
+        for (i, sampler) in self.samplers.iter().enumerate() {
+            let site = sampler.sample(rng);
+            self.occupancy[site] += 1;
+            if i == 0 {
+                first_site = site;
+            }
+        }
+        let mut coverage = 0.0;
+        for (site, &occ) in self.occupancy.iter().enumerate() {
+            if occ > 0 {
+                coverage += self.f.value(site);
+            }
+        }
+        let payoff0 = self.f.value(first_site) * self.ctx.c_table()[self.occupancy[first_site] - 1];
+        (coverage, payoff0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Seed;
+    use dispersal_core::policy::{Exclusive, Sharing};
+
+    #[test]
+    fn symmetric_game_validates_dimensions() {
+        let f = ValueProfile::new(vec![1.0, 0.5]).unwrap();
+        let s3 = Strategy::uniform(3).unwrap();
+        assert!(OneShotGame::symmetric(&f, &Sharing, &s3, 2).is_err());
+        let s2 = Strategy::uniform(2).unwrap();
+        assert!(OneShotGame::symmetric(&f, &Sharing, &s2, 0).is_err());
+    }
+
+    #[test]
+    fn asymmetric_game_validates() {
+        let f = ValueProfile::new(vec![1.0, 0.5]).unwrap();
+        assert!(OneShotGame::asymmetric(&f, &Sharing, &[]).is_err());
+        let s3 = Strategy::uniform(3).unwrap();
+        assert!(OneShotGame::asymmetric(&f, &Sharing, &[s3]).is_err());
+    }
+
+    #[test]
+    fn outcome_is_internally_consistent() {
+        let f = ValueProfile::new(vec![1.0, 0.6, 0.2]).unwrap();
+        let s = Strategy::uniform(3).unwrap();
+        let mut game = OneShotGame::symmetric(&f, &Sharing, &s, 5).unwrap();
+        let mut rng = Seed(3).rng();
+        for _ in 0..200 {
+            let o = game.play(&mut rng);
+            assert_eq!(o.choices.len(), 5);
+            assert_eq!(o.occupancy.iter().sum::<usize>(), 5);
+            // Coverage equals sum over visited sites.
+            let cov: f64 = o
+                .occupancy
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(x, _)| f.value(x))
+                .sum();
+            assert!((o.coverage - cov).abs() < 1e-12);
+            // Sharing payoffs: each player at a site with occ players gets
+            // f/occ.
+            for (i, &site) in o.choices.iter().enumerate() {
+                let expect = f.value(site) / o.occupancy[site] as f64;
+                assert!((o.payoffs[i] - expect).abs() < 1e-12);
+            }
+            assert!(o.colliding_players >= 2 * o.collision_sites);
+        }
+    }
+
+    #[test]
+    fn exclusive_payoffs_zero_on_collision() {
+        let f = ValueProfile::new(vec![1.0]).unwrap();
+        let s = Strategy::delta(1, 0).unwrap();
+        let mut game = OneShotGame::symmetric(&f, &Exclusive, &s, 3).unwrap();
+        let mut rng = Seed(1).rng();
+        let o = game.play(&mut rng);
+        assert_eq!(o.payoffs, vec![0.0, 0.0, 0.0]);
+        assert_eq!(o.collision_sites, 1);
+        assert_eq!(o.colliding_players, 3);
+        assert!((o.coverage - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fast_path_matches_full_path_statistics() {
+        let f = ValueProfile::new(vec![1.0, 0.4]).unwrap();
+        let s = Strategy::new(vec![0.7, 0.3]).unwrap();
+        let mut game = OneShotGame::symmetric(&f, &Exclusive, &s, 2).unwrap();
+        let n = 60_000;
+        let mut rng = Seed(5).rng();
+        let mut cov_fast = 0.0;
+        let mut pay_fast = 0.0;
+        for _ in 0..n {
+            let (c, p) = game.play_coverage(&mut rng);
+            cov_fast += c;
+            pay_fast += p;
+        }
+        let mut rng = Seed(6).rng();
+        let mut cov_full = 0.0;
+        let mut pay_full = 0.0;
+        for _ in 0..n {
+            let o = game.play(&mut rng);
+            cov_full += o.coverage;
+            pay_full += o.payoffs[0];
+        }
+        let nf = n as f64;
+        assert!((cov_fast / nf - cov_full / nf).abs() < 0.01);
+        assert!((pay_fast / nf - pay_full / nf).abs() < 0.01);
+    }
+
+    #[test]
+    fn asymmetric_assignment_never_collides() {
+        let f = ValueProfile::new(vec![1.0, 0.5]).unwrap();
+        let profile = vec![Strategy::delta(2, 0).unwrap(), Strategy::delta(2, 1).unwrap()];
+        let mut game = OneShotGame::asymmetric(&f, &Exclusive, &profile).unwrap();
+        let mut rng = Seed(9).rng();
+        for _ in 0..50 {
+            let o = game.play(&mut rng);
+            assert_eq!(o.collision_sites, 0);
+            assert!((o.coverage - 1.5).abs() < 1e-15);
+            assert_eq!(o.payoffs, vec![1.0, 0.5]);
+        }
+    }
+}

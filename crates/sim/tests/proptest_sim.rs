@@ -1,0 +1,89 @@
+//! Crate-level property tests for `dispersal-sim`: randomized consistency
+//! between simulated outcomes and the model's bookkeeping.
+
+use dispersal_core::policy::{Sharing, TwoLevel};
+use dispersal_core::strategy::Strategy;
+use dispersal_core::value::ValueProfile;
+use dispersal_sim::oneshot::OneShotGame;
+use dispersal_sim::rng::Seed;
+use dispersal_sim::stats::Welford;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+fn values() -> impl PropStrategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.1f64..5.0, 2..=8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn outcome_bookkeeping_consistent(vals in values(), k in 1usize..=8, seed in 0u64..500, c in -0.9f64..1.0) {
+        let f = ValueProfile::from_unsorted(vals).unwrap();
+        let p = Strategy::uniform(f.len()).unwrap();
+        let policy = TwoLevel::new(c).unwrap();
+        let mut game = OneShotGame::symmetric(&f, &policy, &p, k).unwrap();
+        let mut rng = Seed(seed).rng();
+        for _ in 0..16 {
+            let o = game.play(&mut rng);
+            prop_assert_eq!(o.choices.len(), k);
+            prop_assert_eq!(o.occupancy.iter().sum::<usize>(), k);
+            prop_assert_eq!(o.payoffs.len(), k);
+            // Coverage never exceeds the total value, and is at least the
+            // best chosen site's value.
+            prop_assert!(o.coverage <= f.total() + 1e-9);
+            let best_chosen = o.choices.iter().map(|&x| f.value(x)).fold(0.0, f64::max);
+            prop_assert!(o.coverage >= best_chosen - 1e-9);
+            // Collision accounting.
+            let collision_sites = o.occupancy.iter().filter(|&&n| n > 1).count();
+            prop_assert_eq!(o.collision_sites, collision_sites);
+            // Payoffs match the policy table exactly.
+            for (i, &site) in o.choices.iter().enumerate() {
+                let expect = f.value(site) * policy_c(c, o.occupancy[site]);
+                prop_assert!((o.payoffs[i] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn welford_merge_associative(xs in proptest::collection::vec(-100.0f64..100.0, 3..60), split in 1usize..50) {
+        let split = split.min(xs.len() - 1);
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..split] {
+            left.push(x);
+        }
+        for &x in &xs[split..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - all.variance()).abs() < 1e-6 * (1.0 + all.variance()));
+        prop_assert_eq!(left.count(), all.count());
+    }
+
+    #[test]
+    fn sharing_payoffs_sum_to_consumed_value(vals in values(), k in 2usize..=8, seed in 0u64..200) {
+        // Under sharing, the total payoff equals the total value of the
+        // visited sites (nothing is created or destroyed).
+        let f = ValueProfile::from_unsorted(vals).unwrap();
+        let p = Strategy::uniform(f.len()).unwrap();
+        let mut game = OneShotGame::symmetric(&f, &Sharing, &p, k).unwrap();
+        let mut rng = Seed(seed).rng();
+        let o = game.play(&mut rng);
+        let total_payoff: f64 = o.payoffs.iter().sum();
+        prop_assert!((total_payoff - o.coverage).abs() < 1e-9);
+    }
+}
+
+fn policy_c(c: f64, ell: usize) -> f64 {
+    if ell == 1 {
+        1.0
+    } else {
+        c
+    }
+}

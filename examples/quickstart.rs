@@ -1,0 +1,55 @@
+//! Quickstart: the paper's headline result in ~40 lines.
+//!
+//! Build the dispersal game, compute the equilibrium of the exclusive
+//! ("Judgment of Solomon") policy, and watch it coincide with the best
+//! possible symmetric coverage — while the classical sharing policy's
+//! equilibrium falls short.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use selfish_explorers::prelude::*;
+
+fn main() -> Result<()> {
+    // A world of 10 patches with Zipf-decaying food values, explored by 4
+    // foragers that cannot coordinate.
+    let f = ValueProfile::zipf(10, 1.0, 1.0)?;
+    let k = 4;
+
+    // The best any symmetric (non-coordinating) group could do:
+    let best = optimal_coverage(&f, k)?;
+    println!("optimal symmetric coverage: {:.4}", best.coverage);
+
+    // Under the exclusive policy, selfish play settles on sigma* ...
+    let star = sigma_star(&f, k)?;
+    println!(
+        "sigma*: support W = {}, alpha = {:.4}, equilibrium value nu = {:.4}",
+        star.support,
+        star.alpha,
+        star.equilibrium_value()
+    );
+
+    // ... whose coverage IS the optimum (Theorem 4 / Corollary 5):
+    let star_cov = coverage(&f, &star.strategy, k)?;
+    println!("coverage of sigma*:         {:.4} (gap {:.2e})", star_cov, best.coverage - star_cov);
+
+    // The sharing policy's selfish equilibrium covers strictly less:
+    let share_eq = solve_ifd(&Sharing, &f, k)?;
+    let share_cov = coverage(&f, &share_eq.strategy, k)?;
+    println!(
+        "coverage of sharing IFD:    {:.4} (SPoA {:.4})",
+        share_cov,
+        best.coverage / share_cov
+    );
+
+    // And sigma* is evolutionarily stable: no mutant strategy invades.
+    let mut rng = rand::thread_rng();
+    let report = probe_ess_k(&Exclusive, &f, &star.strategy, 100, &mut rng, k)?;
+    println!(
+        "ESS probe: {} mutants tested, {} repelled, invasions: {}",
+        report.mutants_tested,
+        report.repelled,
+        report.invasions.len()
+    );
+    assert!(report.passed());
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! # selfish-explorers
+//!
+//! Umbrella crate for the reproduction of Collet & Korman, *"Intense
+//! Competition can Drive Selfish Explorers to Optimize Coverage"* (SPAA
+//! 2018, arXiv:1805.01319). Re-exports the four workspace crates:
+//!
+//! * [`core`](dispersal_core) — the dispersal game: value profiles,
+//!   strategies, congestion policies, coverage, IFD/σ⋆ solvers, ESS and
+//!   SPoA machinery.
+//! * [`sim`](dispersal_sim) — one-shot Monte Carlo, replicator/logit
+//!   dynamics, invasion and Moran experiments.
+//! * [`search`](dispersal_search) — the Bayesian parallel-search substrate
+//!   (σ⋆ = first round of A⋆).
+//! * [`mech`](dispersal_mech) — policy catalog, evaluation scorecards,
+//!   adversarial SPoA search, Kleinberg–Oren reward-design baseline.
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench` for the
+//! binaries regenerating every figure/table of the paper.
+
+#![warn(missing_docs)]
+
+pub use dispersal_core;
+pub use dispersal_mech;
+pub use dispersal_search;
+pub use dispersal_sim;
+
+/// Everything most programs need, in one import.
+pub mod prelude {
+    pub use dispersal_core::prelude::*;
+    pub use dispersal_mech::prelude::*;
+    pub use dispersal_search::prelude::*;
+    pub use dispersal_sim::prelude::*;
+}

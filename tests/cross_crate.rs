@@ -1,0 +1,135 @@
+//! Cross-crate integration: the simulation, search, and mechanism layers
+//! must agree with the analytic core.
+
+use selfish_explorers::prelude::*;
+
+#[test]
+fn simulation_confirms_analytic_coverage_for_catalog() {
+    let f = ValueProfile::new(vec![1.0, 0.7, 0.4, 0.2]).unwrap();
+    let k = 3;
+    for named in standard_catalog() {
+        let p = Strategy::proportional(f.values()).unwrap();
+        let report = estimate_symmetric(
+            &f,
+            named.policy.as_ref(),
+            &p,
+            k,
+            McConfig { trials: 120_000, seed: 5, shards: 16 },
+        )
+        .unwrap();
+        let analytic = coverage(&f, &p, k).unwrap();
+        assert!(
+            report.coverage.covers(analytic, 2e-3),
+            "{}: MC {} ± {} vs analytic {analytic}",
+            named.name,
+            report.coverage.mean,
+            report.coverage.ci95
+        );
+    }
+}
+
+#[test]
+fn replicator_and_solver_agree_on_equilibrium() {
+    let f = ValueProfile::new(vec![1.0, 0.6, 0.3]).unwrap();
+    let k = 3;
+    for policy in [&Exclusive as &dyn Congestion, &Sharing, &TwoLevel { c: -0.2 }] {
+        let ifd = solve_ifd(policy, &f, k).unwrap();
+        let start = Strategy::from_weights(vec![1.0, 1.1, 0.9]).unwrap();
+        let run = run_replicator(
+            policy,
+            &f,
+            &start,
+            k,
+            ReplicatorConfig { velocity_tol: 1e-11, ..Default::default() },
+        )
+        .unwrap();
+        let d = run.state.tv_distance(&ifd.strategy).unwrap();
+        assert!(d < 1e-4, "{}: dynamics vs solver distance {d}", policy.name());
+    }
+}
+
+#[test]
+fn search_round_one_identity_across_priors() {
+    for (prior, k) in [
+        (Prior::zipf(20, 1.0).unwrap(), 3usize),
+        (Prior::geometric(10, 0.6).unwrap(), 2),
+        (Prior::uniform(7).unwrap(), 5),
+    ] {
+        let mut plan = IteratedSigmaStar::new(&prior, k).unwrap();
+        let round1 = plan.round(0);
+        let star = sigma_star(prior.profile(), k).unwrap().strategy;
+        assert!(round1.linf_distance(&star).unwrap() < 1e-12);
+    }
+}
+
+#[test]
+fn designed_rewards_reproduce_exclusive_coverage_under_sharing() {
+    // mech + core: the KO design under sharing matches what exclusive
+    // achieves natively.
+    let f = ValueProfile::zipf(9, 1.0, 0.9).unwrap();
+    let k = 4;
+    let native = solve_ifd(&Exclusive, &f, k).unwrap();
+    let native_cov = coverage(&f, &native.strategy, k).unwrap();
+    let target = sigma_star(&f, k).unwrap().strategy;
+    let design = design_rewards(&Sharing, &target, k, 1.0).unwrap();
+    let induced = solve_ifd(&Sharing, &design.rewards, k).unwrap();
+    let induced_cov = coverage(&f, &induced.strategy, k).unwrap();
+    assert!((native_cov - induced_cov).abs() < 1e-7);
+}
+
+#[test]
+fn invasion_experiment_matches_exact_ess_ledger() {
+    // sim + core: empirical invasion advantage tracks the exact Eq. (3)
+    // computation.
+    let f = ValueProfile::new(vec![1.0, 0.5]).unwrap();
+    let k = 2;
+    let star = sigma_star(&f, k).unwrap().strategy;
+    let mutant = Strategy::new(vec![0.3, 0.7]).unwrap();
+    let report = run_invasion(
+        &Exclusive,
+        &f,
+        &star,
+        &mutant,
+        k,
+        InvasionConfig { epsilon: 0.3, matches: 400_000, seed: 11, shards: 16 },
+    )
+    .unwrap();
+    let tol = report.resident_payoff.ci95 + report.mutant_payoff.ci95 + 1e-3;
+    assert!((report.advantage - report.analytic_advantage).abs() < tol);
+    assert!(report.analytic_advantage > 0.0);
+}
+
+#[test]
+fn evaluator_ranks_exclusive_first_on_witness() {
+    use rand::SeedableRng;
+    let k = 3;
+    let f = ValueProfile::slow_decay_witness(4 * k, k).unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    let evals = evaluate_catalog(&f, k, 0, &mut rng).unwrap();
+    let mut sorted = evals.clone();
+    sorted.sort_by(|a, b| a.spoa.partial_cmp(&b.spoa).unwrap());
+    assert_eq!(sorted[0].policy, "exclusive");
+    assert!((sorted[0].spoa - 1.0).abs() < 1e-6);
+    assert!(sorted[1].spoa > 1.0);
+}
+
+#[test]
+fn moran_process_orders_sites_like_sigma_star() {
+    let f = ValueProfile::new(vec![1.0, 0.55, 0.3]).unwrap();
+    let k = 3;
+    let cfg = MoranConfig {
+        population: 240,
+        generations: 25_000,
+        burn_in: 5_000,
+        rounds_per_generation: 3,
+        selection: 5.0,
+        mutation: 0.01,
+        seed: 77,
+    };
+    let run = run_moran(&Exclusive, &f, k, cfg).unwrap();
+    let freq = run.mean_frequencies;
+    assert!(freq.prob(0) > freq.prob(1));
+    assert!(freq.prob(1) > freq.prob(2));
+    let star = sigma_star(&f, k).unwrap().strategy;
+    assert!(freq.tv_distance(&star).unwrap() < 0.15);
+}

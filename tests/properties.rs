@@ -1,0 +1,160 @@
+//! Property-based tests (proptest) of the core invariants, over random
+//! instances rather than the curated grids of `theorems.rs`.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+use selfish_explorers::prelude::Strategy;
+use selfish_explorers::prelude::*;
+
+/// Random positive value vectors of dimension 2..=12.
+fn value_vec() -> impl PropStrategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.05f64..10.0, 2..=12)
+}
+
+/// Random player counts.
+fn player_count() -> impl PropStrategy<Value = usize> {
+    1usize..=8
+}
+
+/// Random two-level congestion parameters (collision payoff ≤ 1).
+fn two_level_c() -> impl PropStrategy<Value = f64> {
+    -1.0f64..1.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sigma_star_is_a_distribution_with_prefix_support(values in value_vec(), k in player_count()) {
+        let f = ValueProfile::from_unsorted(values).unwrap();
+        let star = sigma_star(&f, k).unwrap();
+        let sum: f64 = star.strategy.probs().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(star.strategy.probs().iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        // Support is a prefix: no zero followed by a positive.
+        let mut seen_zero = false;
+        for &p in star.strategy.probs() {
+            if p <= 1e-12 {
+                seen_zero = true;
+            } else {
+                prop_assert!(!seen_zero, "support is not a prefix");
+            }
+        }
+        prop_assert_eq!(star.support, star.strategy.support_size(1e-12));
+    }
+
+    #[test]
+    fn sigma_star_matches_general_ifd_solver(values in value_vec(), k in 2usize..=6) {
+        let f = ValueProfile::from_unsorted(values).unwrap();
+        let star = sigma_star(&f, k).unwrap();
+        let solved = solve_ifd(&Exclusive, &f, k).unwrap();
+        prop_assert!(star.strategy.linf_distance(&solved.strategy).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn coverage_of_sigma_star_dominates_everything(values in value_vec(), k in player_count(), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let f = ValueProfile::from_unsorted(values).unwrap();
+        let star = sigma_star(&f, k).unwrap();
+        let star_cov = coverage(&f, &star.strategy, k).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..f.len()).map(|_| rng.gen::<f64>().max(1e-9)).collect();
+        let p = Strategy::from_weights(weights).unwrap();
+        prop_assert!(coverage(&f, &p, k).unwrap() <= star_cov + 1e-9);
+    }
+
+    #[test]
+    fn coverage_bounds_and_complement(values in value_vec(), k in player_count()) {
+        let f = ValueProfile::from_unsorted(values).unwrap();
+        let p = Strategy::uniform(f.len()).unwrap();
+        let cov = coverage(&f, &p, k).unwrap();
+        let miss = miss_mass(&f, &p, k).unwrap();
+        prop_assert!(cov >= 0.0 && cov <= f.total() + 1e-9);
+        prop_assert!((cov + miss - f.total()).abs() < 1e-9 * f.total().max(1.0));
+    }
+
+    #[test]
+    fn ifd_residual_small_for_two_level_policies(values in value_vec(), k in 2usize..=6, c in two_level_c()) {
+        let f = ValueProfile::from_unsorted(values).unwrap();
+        let policy = TwoLevel::new(c).unwrap();
+        let ctx = PayoffContext::new(&policy, k).unwrap();
+        if ctx.is_degenerate() {
+            return Ok(()); // c == 1 makes the policy constant
+        }
+        let ifd = solve_ifd(&policy, &f, k).unwrap();
+        prop_assert!(ifd.residual < 1e-7, "residual {}", ifd.residual);
+        // And the IFD is a Nash equilibrium.
+        let gap = dispersal_core::ifd::nash_gap(&policy, &f, &ifd.strategy, k).unwrap();
+        prop_assert!(gap < 1e-7, "nash gap {gap}");
+    }
+
+    #[test]
+    fn exclusive_spoa_is_always_one(values in value_vec(), k in 2usize..=6) {
+        let f = ValueProfile::from_unsorted(values).unwrap();
+        let point = spoa(&Exclusive, &f, k).unwrap();
+        prop_assert!((point.ratio - 1.0).abs() < 1e-6, "SPoA {}", point.ratio);
+    }
+
+    #[test]
+    fn mixture_payoff_is_linear_interpolation_at_k2(values in value_vec(), eps in 0.0f64..1.0) {
+        // For k = 2 the mixture payoff is exactly linear in eps.
+        let f = ValueProfile::from_unsorted(values).unwrap();
+        let m = f.len();
+        let sigma = Strategy::uniform_on_top(m, 1).unwrap();
+        let pi = Strategy::uniform(m).unwrap();
+        let rho = Strategy::uniform(m).unwrap();
+        let ctx = PayoffContext::new(&Sharing, 2).unwrap();
+        let at0 = ctx.mixture_payoff(&f, &rho, &sigma, &pi, 0.0).unwrap();
+        let at1 = ctx.mixture_payoff(&f, &rho, &sigma, &pi, 1.0).unwrap();
+        let at_eps = ctx.mixture_payoff(&f, &rho, &sigma, &pi, eps).unwrap();
+        prop_assert!((at_eps - ((1.0 - eps) * at0 + eps * at1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welfare_optimum_dominates_equilibrium_payoff(values in value_vec(), k in 2usize..=5, c in -0.5f64..0.99) {
+        let f = ValueProfile::from_unsorted(values).unwrap();
+        let policy = TwoLevel::new(c).unwrap();
+        let ctx = PayoffContext::new(&policy, k).unwrap();
+        if ctx.is_degenerate() {
+            return Ok(());
+        }
+        let ifd = solve_ifd(&policy, &f, k).unwrap();
+        let u_eq = ctx.symmetric_payoff(&f, &ifd.strategy).unwrap();
+        let opt = welfare_optimum(&policy, &f, k).unwrap();
+        prop_assert!(opt.payoff >= u_eq - 1e-7, "welfare {} < equilibrium {u_eq}", opt.payoff);
+    }
+
+    #[test]
+    fn strategy_sampler_support_matches(values in value_vec(), seed in 0u64..100) {
+        use rand::SeedableRng;
+        let p = Strategy::from_weights(values).unwrap();
+        let sampler = StrategySampler::new(&p);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let site = sampler.sample(&mut rng);
+            prop_assert!(p.prob(site) > 0.0, "sampled a zero-probability site");
+        }
+    }
+
+    #[test]
+    fn search_plan_round_one_identity(values in value_vec(), k in 1usize..=6) {
+        let prior = Prior::from_weights(values).unwrap();
+        let mut plan = IteratedSigmaStar::new(&prior, k).unwrap();
+        let round1 = plan.round(0);
+        let star = sigma_star(prior.profile(), k).unwrap().strategy;
+        prop_assert!(round1.linf_distance(&star).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn detection_cdf_monotone_for_random_priors(values in value_vec(), k in 1usize..=4) {
+        let prior = Prior::from_weights(values).unwrap();
+        let mut plan = IteratedSigmaStar::new(&prior, k).unwrap();
+        let eval = evaluate_plan(&mut plan, &prior, k, 60).unwrap();
+        let mut prev = 0.0;
+        for &s in &eval.success_by_round {
+            prop_assert!(s >= prev - 1e-12 && s <= 1.0 + 1e-9);
+            prev = s;
+        }
+        prop_assert!(eval.expected_rounds >= 1.0 - 1e-9);
+    }
+}

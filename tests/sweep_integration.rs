@@ -1,0 +1,52 @@
+//! Integration test for the parallel sweep engine: drive a small
+//! policy-evaluation grid through `dispersal-sim`'s sweep machinery and
+//! check the paper's ordering holds on every cell.
+
+use selfish_explorers::prelude::*;
+
+#[test]
+fn sweep_grid_confirms_exclusive_dominance_everywhere() {
+    let instances = vec![
+        ("zipf(1.0) M=10".to_string(), ValueProfile::zipf(10, 1.0, 1.0).unwrap()),
+        ("slow-decay M=12".to_string(), ValueProfile::slow_decay_witness(12, 3).unwrap()),
+        ("geometric(0.8) M=8".to_string(), ValueProfile::geometric(8, 1.0, 0.8).unwrap()),
+    ];
+    let ks = [2usize, 3, 5];
+    // For each cell: (exclusive equilibrium coverage, sharing equilibrium
+    // coverage, optimal coverage).
+    let cells = sweep_grid(&instances, &ks, 7, |f, k, _rng| {
+        let excl = solve_ifd(&Exclusive, f, k)?;
+        let share = solve_ifd(&Sharing, f, k)?;
+        let opt = optimal_coverage(f, k)?;
+        Ok((
+            coverage(f, &excl.strategy, k)?,
+            coverage(f, &share.strategy, k)?,
+            opt.coverage,
+        ))
+    })
+    .unwrap();
+    assert_eq!(cells.len(), instances.len() * ks.len());
+    for cell in &cells {
+        let (excl, share, opt) = cell.output;
+        // Corollary 5 on every cell.
+        assert!(
+            (excl - opt).abs() < 1e-7,
+            "{} k={}: exclusive {excl} != optimal {opt}",
+            cell.instance,
+            cell.k
+        );
+        // Sharing never beats exclusive.
+        assert!(
+            share <= excl + 1e-9,
+            "{} k={}: sharing {share} > exclusive {excl}",
+            cell.instance,
+            cell.k
+        );
+    }
+    // Theorem 6 is strict somewhere on the witness instance.
+    let strict = cells
+        .iter()
+        .filter(|c| c.instance.starts_with("slow-decay"))
+        .any(|c| c.output.1 < c.output.0 - 1e-9);
+    assert!(strict, "sharing should be strictly worse on the witness family");
+}
