@@ -12,11 +12,9 @@ fn bench_ifd_scaling(c: &mut Criterion) {
     for &m in &[10usize, 100, 1000] {
         for &k in &[2usize, 8, 32] {
             let f = ValueProfile::zipf(m, 1.0, 1.0).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(format!("sharing_m{m}"), k),
-                &k,
-                |b, &k| b.iter(|| solve_ifd(&Sharing, black_box(&f), k).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("sharing_m{m}"), k), &k, |b, &k| {
+                b.iter(|| solve_ifd(&Sharing, black_box(&f), k).unwrap())
+            });
         }
     }
     group.finish();
@@ -29,9 +27,7 @@ fn bench_ifd_policies(c: &mut Criterion) {
     group.bench_function("exclusive", |b| {
         b.iter(|| solve_ifd(&Exclusive, black_box(&f), k).unwrap())
     });
-    group.bench_function("sharing", |b| {
-        b.iter(|| solve_ifd(&Sharing, black_box(&f), k).unwrap())
-    });
+    group.bench_function("sharing", |b| b.iter(|| solve_ifd(&Sharing, black_box(&f), k).unwrap()));
     group.bench_function("aggressive", |b| {
         b.iter(|| solve_ifd(&TwoLevel { c: -0.5 }, black_box(&f), k).unwrap())
     });

@@ -57,5 +57,11 @@ fn bench_poisson_binomial(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_g, bench_symmetric_payoff, bench_ess_payoff, bench_poisson_binomial);
+criterion_group!(
+    benches,
+    bench_g,
+    bench_symmetric_payoff,
+    bench_ess_payoff,
+    bench_poisson_binomial
+);
 criterion_main!(benches);

@@ -99,12 +99,7 @@ fn run() -> Result<()> {
                     .ok_or_else(|| Error::InvalidArgument("missing --policy <spec>".into()))?,
             )?;
             let ifd = solve_ifd_allow_degenerate(policy.as_ref(), &f, k)?;
-            print_strategy(
-                &format!("IFD of {} (k = {k})", policy.name()),
-                &f,
-                &ifd.strategy,
-                k,
-            )?;
+            print_strategy(&format!("IFD of {} (k = {k})", policy.name()), &f, &ifd.strategy, k)?;
             let ctx = PayoffContext::new(policy.as_ref(), k)?;
             println!("  payoff    = {:.6}", ctx.symmetric_payoff(&f, &ifd.strategy)?);
             println!("  support   = {}", ifd.support);
@@ -164,7 +159,10 @@ fn run() -> Result<()> {
             println!("indistinguishable   = {}", report.indistinguishable);
             println!("invasions           = {}", report.invasions.len());
             println!("worst margin        = {:.3e}", report.worst_margin);
-            println!("verdict             = {}", if report.passed() { "ESS (no invasion found)" } else { "NOT an ESS" });
+            println!(
+                "verdict             = {}",
+                if report.passed() { "ESS (no invasion found)" } else { "NOT an ESS" }
+            );
         }
         "evaluate" => {
             let f = get_profile(&flags)?;

@@ -62,8 +62,7 @@ fn main() -> Result<()> {
     let mut csv = to_csv(&["tax", "p_taxed_site", "net_value", "coverage"], &rows);
     csv.push('\n');
     csv.push_str(&to_csv(&["cap", "sigma_star_extraction", "point_mass_extraction"], &cap_rows));
-    let path =
-        write_result("extensions.csv", &csv).map_err(|e| Error::InvalidArgument(e.to_string()))?;
+    let path = write_result("extensions.csv", &csv)?;
     println!("\nEXT: wrote {}", path.display());
     Ok(())
 }

@@ -47,11 +47,17 @@ fn main() -> Result<()> {
         ]);
     }
     let csv = to_csv(
-        &["mc_coverage", "cov_ci95", "analytic_coverage", "mc_payoff", "pay_ci95", "analytic_payoff"],
+        &[
+            "mc_coverage",
+            "cov_ci95",
+            "analytic_coverage",
+            "mc_payoff",
+            "pay_ci95",
+            "analytic_payoff",
+        ],
         &rows,
     );
-    let path = write_result("mc_validation.csv", &csv)
-        .map_err(|e| Error::InvalidArgument(e.to_string()))?;
+    let path = write_result("mc_validation.csv", &csv)?;
     println!("MC: wrote {} (all estimates inside 95% CIs)", path.display());
     Ok(())
 }

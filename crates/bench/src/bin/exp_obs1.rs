@@ -53,11 +53,13 @@ fn main() -> Result<()> {
         }
     }
     let csv = to_csv(&["m", "k", "coverage_over_topk", "bound"], &rows);
-    let path =
-        write_result("obs1.csv", &csv).map_err(|e| Error::InvalidArgument(e.to_string()))?;
+    let path = write_result("obs1.csv", &csv)?;
     println!(
         "{}",
-        markdown_table(&["family", "M", "k", "Cover(p*)/top-k", "bound (1-1/e)", "status"], &md_rows)
+        markdown_table(
+            &["family", "M", "k", "Cover(p*)/top-k", "bound (1-1/e)", "status"],
+            &md_rows
+        )
     );
     println!("OBS1: wrote {}", path.display());
     println!(

@@ -46,8 +46,7 @@ fn main() -> Result<()> {
     let mut rng = ChaCha8Rng::seed_from_u64(31);
     let mut reached = std::collections::HashMap::<Vec<usize>, usize>::new();
     for _ in 0..200 {
-        let start =
-            PureProfile::new((0..k).map(|_| rng.gen_range(0..f.len())).collect(), f.len())?;
+        let start = PureProfile::new((0..k).map(|_| rng.gen_range(0..f.len())).collect(), f.len())?;
         let (eq, _) = best_response_dynamics(&Exclusive, &f, start, 10_000)?;
         let sites: Vec<usize> = (0..k).map(|i| eq.site(i)).collect();
         *reached.entry(sites).or_insert(0) += 1;
@@ -63,7 +62,7 @@ fn main() -> Result<()> {
         &["k", "pure_ne_count", "profiles", "worst_coverage", "best_coverage", "best_symmetric"],
         &rows,
     );
-    let path = write_result("pure.csv", &csv).map_err(|e| Error::InvalidArgument(e.to_string()))?;
+    let path = write_result("pure.csv", &csv)?;
     println!("PURE: wrote {}", path.display());
     Ok(())
 }

@@ -50,7 +50,12 @@ fn main() -> Result<()> {
                 f,
                 &start,
                 *k,
-                DynamicsConfig { beta: 400.0, max_steps: 200_000, tol: 1e-10, ..Default::default() },
+                DynamicsConfig {
+                    beta: 400.0,
+                    max_steps: 200_000,
+                    tol: 1e-10,
+                    ..Default::default()
+                },
             )?;
             let fp_d = fp.state.tv_distance(&ifd.strategy)?;
             rows.push(vec![*k as f64, rep_d, logit_d, fp_d]);
@@ -64,8 +69,7 @@ fn main() -> Result<()> {
         }
     }
     let csv = to_csv(&["k", "replicator_tv", "logit_tv", "fictitious_tv"], &rows);
-    let path =
-        write_result("replicator.csv", &csv).map_err(|e| Error::InvalidArgument(e.to_string()))?;
+    let path = write_result("replicator.csv", &csv)?;
     println!("DYN: wrote {} (all dynamics land on the IFD)", path.display());
     Ok(())
 }

@@ -59,8 +59,7 @@ fn main() -> Result<()> {
     let mut csv = to_csv(&["k_actual", "optimal", "kleinberg_oren", "exclusive"], &rows);
     csv.push('\n');
     csv.push_str(&to_csv(&["noise", "mean_efficiency", "worst_efficiency"], &noise_rows));
-    let path =
-        write_result("robustness.csv", &csv).map_err(|e| Error::InvalidArgument(e.to_string()))?;
+    let path = write_result("robustness.csv", &csv)?;
     println!("\nROB: wrote {}", path.display());
     Ok(())
 }

@@ -69,10 +69,7 @@ fn main() -> Result<()> {
                 a.expected_rounds, mem, u.expected_rounds, p.expected_rounds, s.expected_rounds
             );
             // Iterated sigma* dominates every randomized baseline.
-            assert!(
-                a.expected_rounds <= u.expected_rounds + 1e-6,
-                "{name} k={k}: lost to uniform"
-            );
+            assert!(a.expected_rounds <= u.expected_rounds + 1e-6, "{name} k={k}: lost to uniform");
             assert!(
                 a.expected_rounds <= p.expected_rounds + 1e-6,
                 "{name} k={k}: lost to prior-proportional"
@@ -103,7 +100,7 @@ fn main() -> Result<()> {
         &["k", "iterated_sigma_star", "iterated_with_memory", "uniform", "proportional", "sweep"],
         &rows,
     );
-    let path = write_result("search.csv", &csv).map_err(|e| Error::InvalidArgument(e.to_string()))?;
+    let path = write_result("search.csv", &csv)?;
     println!("SRCH: wrote {}", path.display());
     Ok(())
 }

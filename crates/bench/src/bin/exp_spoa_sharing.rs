@@ -20,9 +20,19 @@ fn main() -> Result<()> {
         let result = adversarial_spoa(
             &Sharing,
             k,
-            AdversarialConfig { m: 6 * k, random_starts: 6, iterations: 250, step: 0.2, seed: 1234 },
+            AdversarialConfig {
+                m: 6 * k,
+                random_starts: 6,
+                iterations: 250,
+                step: 0.2,
+                seed: 1234,
+            },
         )?;
-        println!("  k = {k}: max SPoA found {:.5} (< 2: {})", result.best_ratio, result.best_ratio < 2.0);
+        println!(
+            "  k = {k}: max SPoA found {:.5} (< 2: {})",
+            result.best_ratio,
+            result.best_ratio < 2.0
+        );
         assert!(result.best_ratio < 2.0 + 1e-9, "Vetta bound violated at k = {k}");
         assert!(result.best_ratio > 1.0, "sharing should be suboptimal somewhere");
         rows.push(vec![k as f64, result.best_ratio, 2.0]);
@@ -42,8 +52,7 @@ fn main() -> Result<()> {
     );
     assert!(err < 1e-7);
     let csv = to_csv(&["k", "max_spoa_found", "vetta_bound"], &rows);
-    let path =
-        write_result("spoa_sharing.csv", &csv).map_err(|e| Error::InvalidArgument(e.to_string()))?;
+    let path = write_result("spoa_sharing.csv", &csv)?;
     println!("KO2: wrote {}", path.display());
     Ok(())
 }

@@ -65,7 +65,7 @@ fn main() -> Result<()> {
         &["k", "mutants", "worst_margin", "uniform_barrier", "mc_advantage", "analytic_advantage"],
         &rows,
     );
-    let path = write_result("thm3.csv", &csv).map_err(|e| Error::InvalidArgument(e.to_string()))?;
+    let path = write_result("thm3.csv", &csv)?;
     println!("THM3: wrote {} (sigma* is an ESS on every instance)", path.display());
     Ok(())
 }

@@ -62,10 +62,13 @@ fn main() -> Result<()> {
     }
     println!(
         "{}",
-        markdown_table(&["policy", "SPoA on witness", "SPoA adversarial", "IFD residual", "prediction"], &md_rows)
+        markdown_table(
+            &["policy", "SPoA on witness", "SPoA adversarial", "IFD residual", "prediction"],
+            &md_rows
+        )
     );
     let csv = to_csv(&["spoa_witness", "spoa_adversarial", "ifd_residual"], &rows);
-    let path = write_result("thm6.csv", &csv).map_err(|e| Error::InvalidArgument(e.to_string()))?;
+    let path = write_result("thm6.csv", &csv)?;
     println!("THM6: wrote {}", path.display());
     println!("THM6: exclusive is the unique policy at SPoA = 1 (all assertions passed)");
     Ok(())

@@ -42,9 +42,9 @@ fn main() -> Result<()> {
             wel_cov.push(welfare_coverage);
             opt_cov.push(optimum);
         }
-        let csv = to_csv(&["c", "ess_coverage", "optimum_coverage", "welfare_optimum_coverage"], &rows);
-        let path = write_result(&format!("fig1_{}.csv", panel.name), &csv)
-            .map_err(|e| Error::InvalidArgument(e.to_string()))?;
+        let csv =
+            to_csv(&["c", "ess_coverage", "optimum_coverage", "welfare_optimum_coverage"], &rows);
+        let path = write_result(&format!("fig1_{}.csv", panel.name), &csv)?;
         println!("FIG1-{}: wrote {}", panel.name, path.display());
 
         // The paper's headline: at c = 0 (exclusive) the ESS coverage
@@ -70,7 +70,7 @@ fn main() -> Result<()> {
         ascii_all.push_str(&plot);
         ascii_all.push('\n');
     }
-    let path = write_result("fig1.txt", &ascii_all).map_err(|e| Error::InvalidArgument(e.to_string()))?;
+    let path = write_result("fig1.txt", &ascii_all)?;
     println!("FIG1: ASCII panels at {}", path.display());
     print!("{ascii_all}");
     Ok(())

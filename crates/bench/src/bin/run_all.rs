@@ -4,9 +4,9 @@
 //! Equivalent to invoking each `exp_*` / `fig1` binary yourself; kept as a
 //! tiny driver (not a shell script) so it works on every platform.
 
-use std::process::Command;
+use std::process::{Command, ExitCode};
 
-fn main() {
+fn main() -> ExitCode {
     let experiments = [
         "fig1",
         "exp_obs1",
@@ -21,8 +21,17 @@ fn main() {
         "exp_pure",
         "exp_robustness",
     ];
-    let exe = std::env::current_exe().expect("current exe path");
-    let bin_dir = exe.parent().expect("bin dir");
+    let exe = match std::env::current_exe() {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("run_all: cannot determine the executable path: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(bin_dir) = exe.parent() else {
+        eprintln!("run_all: executable path {} has no parent directory", exe.display());
+        return ExitCode::FAILURE;
+    };
     let mut failures = Vec::new();
     for name in experiments {
         println!("================ {name} ================");
@@ -42,8 +51,9 @@ fn main() {
     }
     if failures.is_empty() {
         println!("All experiments completed; results under results/.");
+        ExitCode::SUCCESS
     } else {
         eprintln!("Failed experiments: {failures:?}");
-        std::process::exit(1);
+        ExitCode::FAILURE
     }
 }

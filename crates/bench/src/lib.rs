@@ -37,20 +37,68 @@ pub fn write_result(name: &str, contents: &str) -> std::io::Result<PathBuf> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// `DISPERSAL_RESULTS_DIR` is process-global; tests that touch it run
+    /// in parallel threads, so they serialize on this lock (and restore
+    /// the variable on drop).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    struct EnvGuard {
+        previous: Option<String>,
+        _lock: MutexGuard<'static, ()>,
+    }
+
+    impl EnvGuard {
+        fn set(value: Option<&str>) -> Self {
+            let lock = ENV_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            let previous = std::env::var("DISPERSAL_RESULTS_DIR").ok();
+            match value {
+                Some(v) => std::env::set_var("DISPERSAL_RESULTS_DIR", v),
+                None => std::env::remove_var("DISPERSAL_RESULTS_DIR"),
+            }
+            EnvGuard { previous, _lock: lock }
+        }
+    }
+
+    impl Drop for EnvGuard {
+        fn drop(&mut self) {
+            match &self.previous {
+                Some(v) => std::env::set_var("DISPERSAL_RESULTS_DIR", v),
+                None => std::env::remove_var("DISPERSAL_RESULTS_DIR"),
+            }
+        }
+    }
 
     #[test]
     fn results_dir_env_override() {
-        std::env::set_var("DISPERSAL_RESULTS_DIR", "/tmp/dispersal-test-results");
+        let _guard = EnvGuard::set(Some("/tmp/dispersal-test-results"));
         assert_eq!(results_dir(), PathBuf::from("/tmp/dispersal-test-results"));
-        std::env::remove_var("DISPERSAL_RESULTS_DIR");
+    }
+
+    #[test]
+    fn results_dir_walks_up_to_workspace_root() {
+        let _guard = EnvGuard::set(None);
+        // Tests run with the crate directory as cwd; the workspace root is
+        // two levels up and is recognized by `Cargo.toml` + `crates/`.
+        let dir = results_dir();
+        assert!(dir.ends_with("results"), "unexpected results dir {}", dir.display());
+        let root = dir.parent().expect("results dir must have a parent");
+        assert!(
+            root.join("Cargo.toml").exists() && root.join("crates").exists(),
+            "walk-up did not find the workspace root (got {})",
+            root.display()
+        );
+        // The walk-up must find the *workspace* root, not the crate dir
+        // (the crate manifest lives next to src/, not next to crates/).
+        assert!(!root.join("src").join("bin").exists());
     }
 
     #[test]
     fn write_result_roundtrip() {
-        std::env::set_var("DISPERSAL_RESULTS_DIR", "/tmp/dispersal-test-results-rt");
+        let _guard = EnvGuard::set(Some("/tmp/dispersal-test-results-rt"));
         let path = write_result("probe.txt", "hello").unwrap();
         assert_eq!(std::fs::read_to_string(path).unwrap(), "hello");
-        std::env::remove_var("DISPERSAL_RESULTS_DIR");
         let _ = std::fs::remove_dir_all("/tmp/dispersal-test-results-rt");
     }
 }

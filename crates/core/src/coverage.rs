@@ -40,10 +40,7 @@ pub fn miss_mass(f: &ValueProfile, p: &Strategy, k: usize) -> Result<f64> {
         return Err(Error::InvalidPlayerCount { k });
     }
     Ok(kahan_sum(
-        f.values()
-            .iter()
-            .zip(p.probs().iter())
-            .map(|(&fx, &px)| fx * (1.0 - px).powi(k as i32)),
+        f.values().iter().zip(p.probs().iter()).map(|(&fx, &px)| fx * (1.0 - px).powi(k as i32)),
     ))
 }
 

@@ -68,6 +68,15 @@ pub enum Error {
     },
     /// Generic invalid argument.
     InvalidArgument(String),
+    /// An I/O operation failed (experiment output, result files). Stores
+    /// the rendered `std::io::Error` so this enum stays `Clone`/`PartialEq`.
+    Io(String),
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for Error {
@@ -75,7 +84,10 @@ impl fmt::Display for Error {
         match self {
             Error::EmptyProfile => write!(out, "value profile must contain at least one site"),
             Error::InvalidValue { index, value } => {
-                write!(out, "site {index} has invalid value {value}; values must be finite and positive")
+                write!(
+                    out,
+                    "site {index} has invalid value {value}; values must be finite and positive"
+                )
             }
             Error::EmptyStrategy => write!(out, "strategy must contain at least one site"),
             Error::InvalidProbability { index, value } => {
@@ -92,7 +104,11 @@ impl fmt::Display for Error {
                 write!(out, "congestion function must satisfy C(1) = 1, got {c1}")
             }
             Error::IncreasingCongestion { ell, c_ell, c_next } => {
-                write!(out, "congestion function increases: C({ell}) = {c_ell} < C({}) = {c_next}", ell + 1)
+                write!(
+                    out,
+                    "congestion function increases: C({ell}) = {c_ell} < C({}) = {c_next}",
+                    ell + 1
+                )
             }
             Error::DegeneratePolicy => {
                 write!(out, "congestion function is constant on [1, k]; the IFD is degenerate")
@@ -101,6 +117,7 @@ impl fmt::Display for Error {
                 write!(out, "{what} failed to converge (residual {residual:e})")
             }
             Error::InvalidArgument(msg) => write!(out, "invalid argument: {msg}"),
+            Error::Io(msg) => write!(out, "I/O error: {msg}"),
         }
     }
 }
@@ -129,6 +146,7 @@ mod tests {
             Error::DegeneratePolicy,
             Error::NoConvergence { what: "ifd", residual: 1e-3 },
             Error::InvalidArgument("x".into()),
+            Error::Io("disk full".into()),
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -260,11 +260,7 @@ mod tests {
             let star = sigma_star(&f, k).unwrap().strategy;
             let mut rng = ChaCha8Rng::seed_from_u64(11);
             let report = probe_ess_k(&Exclusive, &f, &star, 50, &mut rng, k).unwrap();
-            assert!(
-                report.passed(),
-                "k = {k}: invasions {:?}",
-                report.invasions
-            );
+            assert!(report.passed(), "k = {k}: invasions {:?}", report.invasions);
             assert!(report.repelled > 0);
         }
     }

@@ -45,7 +45,9 @@ pub fn solve_ifd_with_costs(
     }
     for (i, &t) in costs.iter().enumerate() {
         if !t.is_finite() || t < 0.0 {
-            return Err(Error::InvalidArgument(format!("cost {t} at site {i} must be finite and >= 0")));
+            return Err(Error::InvalidArgument(format!(
+                "cost {t} at site {i} must be finite and >= 0"
+            )));
         }
     }
     let ctx = PayoffContext::new(c, k)?;
@@ -87,12 +89,8 @@ pub fn solve_ifd_with_costs(
             .collect()
     };
     let g1 = ctx.g(1.0);
-    let mut hi = (0..f.len())
-        .map(|x| f.value(x) - costs[x])
-        .fold(f64::NEG_INFINITY, f64::max);
-    let mut lo = (0..f.len())
-        .map(|x| f.value(x) * g1 - costs[x])
-        .fold(f64::INFINITY, f64::min);
+    let mut hi = (0..f.len()).map(|x| f.value(x) - costs[x]).fold(f64::NEG_INFINITY, f64::max);
+    let mut lo = (0..f.len()).map(|x| f.value(x) * g1 - costs[x]).fold(f64::INFINITY, f64::min);
     let pad = 1e-12 * (1.0 + hi.abs() + lo.abs());
     hi += pad;
     lo -= pad;
@@ -133,7 +131,9 @@ pub fn capacity_coverage(f: &ValueProfile, p: &Strategy, k: usize, cap: f64) -> 
         return Err(Error::InvalidPlayerCount { k });
     }
     if !(cap.is_finite() && cap > 0.0) {
-        return Err(Error::InvalidArgument(format!("capacity must be positive and finite, got {cap}")));
+        return Err(Error::InvalidArgument(format!(
+            "capacity must be positive and finite, got {cap}"
+        )));
     }
     let mut total = 0.0;
     for (x, &fx) in f.values().iter().enumerate() {
@@ -178,11 +178,7 @@ mod tests {
         let free = solve_ifd_with_costs(&Exclusive, &f, &[0.0, 0.0], k).unwrap();
         close(free.strategy.prob(0), 0.5, 1e-9);
         let taxed = solve_ifd_with_costs(&Exclusive, &f, &[0.0, 0.3], k).unwrap();
-        assert!(
-            taxed.strategy.prob(1) < 0.5,
-            "taxed site kept {}",
-            taxed.strategy.prob(1)
-        );
+        assert!(taxed.strategy.prob(1) < 0.5, "taxed site kept {}", taxed.strategy.prob(1));
         assert!(taxed.strategy.prob(0) > 0.5);
     }
 
@@ -226,9 +222,7 @@ mod tests {
         assert!(solve_ifd_with_costs(&Sharing, &f, &[0.0], 2).is_err());
         assert!(solve_ifd_with_costs(&Sharing, &f, &[0.0, -1.0], 2).is_err());
         assert!(solve_ifd_with_costs(&Sharing, &f, &[0.0, f64::NAN], 2).is_err());
-        assert!(
-            solve_ifd_with_costs(&crate::policy::Constant, &f, &[0.0, 0.0], 2).is_err()
-        );
+        assert!(solve_ifd_with_costs(&crate::policy::Constant, &f, &[0.0, 0.0], 2).is_err());
     }
 
     #[test]
@@ -262,8 +256,7 @@ mod tests {
         let k = 2;
         let cap = 0.01;
         let spread = capacity_coverage(&f, &Strategy::uniform(2).unwrap(), k, cap).unwrap();
-        let stacked =
-            capacity_coverage(&f, &Strategy::delta(2, 0).unwrap(), k, cap).unwrap();
+        let stacked = capacity_coverage(&f, &Strategy::delta(2, 0).unwrap(), k, cap).unwrap();
         close(spread, k as f64 * cap, 1e-9);
         close(stacked, k as f64 * cap, 1e-9);
     }

@@ -107,7 +107,8 @@ pub fn solve_ifd_with_context(ctx: &PayoffContext, f: &ValueProfile) -> Result<I
         let strategy = Strategy::delta(f.len(), 0)?;
         return Ok(Ifd { strategy, value: f.value(0), support: 1, residual: 0.0 });
     }
-    let g1 = ctx.g(1.0); // = C(k), possibly negative
+    // g(1) = C(k), possibly negative.
+    let g1 = ctx.g(1.0);
     // nu_hi: at nu = f(1)·g(0) = f(1), every occupancy is 0, S = 0 <= 1.
     let mut hi = f.value(0) * ctx.g(0.0);
     // nu_lo: a value at which every site is fully occupied, S = M >= 1.
@@ -116,9 +117,7 @@ pub fn solve_ifd_with_context(ctx: &PayoffContext, f: &ValueProfile) -> Result<I
     let pad = 1e-12 * (1.0 + hi.abs() + lo.abs());
     hi += pad;
     lo -= pad;
-    let sum_at = |nu: f64| -> f64 {
-        occupancies(ctx, f, nu).iter().sum::<f64>()
-    };
+    let sum_at = |nu: f64| -> f64 { occupancies(ctx, f, nu).iter().sum::<f64>() };
     let mut lo_nu = lo;
     let mut hi_nu = hi;
     for _ in 0..OUTER_ITERS {
@@ -134,7 +133,10 @@ pub fn solve_ifd_with_context(ctx: &PayoffContext, f: &ValueProfile) -> Result<I
     // Exact renormalization of residual bisection slack.
     let sum: f64 = crate::numerics::kahan_sum(probs.iter().copied());
     if sum <= 0.0 {
-        return Err(Error::NoConvergence { what: "ifd water-filling", residual: (sum - 1.0).abs() });
+        return Err(Error::NoConvergence {
+            what: "ifd water-filling",
+            residual: (sum - 1.0).abs(),
+        });
     }
     for p in probs.iter_mut() {
         *p /= sum;
@@ -233,12 +235,7 @@ mod tests {
         ] {
             for k in [2usize, 3, 7] {
                 let ifd = solve_ifd(c, &f, k).unwrap();
-                assert!(
-                    ifd.residual < 1e-8,
-                    "{} k={k}: residual {}",
-                    c.name(),
-                    ifd.residual
-                );
+                assert!(ifd.residual < 1e-8, "{} k={k}: residual {}", c.name(), ifd.residual);
             }
         }
     }

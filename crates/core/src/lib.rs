@@ -69,8 +69,8 @@ pub use error::{Error, Result};
 pub mod prelude {
     pub use crate::coverage::{coverage, coverage_profile, miss_mass, observation1_bound};
     pub use crate::error::{Error, Result};
-    pub use crate::extensions::{capacity_coverage, solve_ifd_with_costs, CostIfd};
     pub use crate::ess::{check_mutant, invasion_barrier, probe_ess_k, EssReport, MutantVerdict};
+    pub use crate::extensions::{capacity_coverage, solve_ifd_with_costs, CostIfd};
     pub use crate::ifd::{solve_ifd, solve_ifd_allow_degenerate, Ifd};
     pub use crate::optimal::{optimal_coverage, optimal_coverage_gradient, OptimalCoverage};
     pub use crate::payoff::PayoffContext;

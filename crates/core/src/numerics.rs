@@ -57,9 +57,8 @@ pub fn binomial_pmf_vector(n: usize, p: f64) -> Vec<f64> {
     }
     // Start at the mode in log space to avoid underflow at either tail.
     let mode = (((n + 1) as f64) * p).floor().min(n as f64) as usize;
-    let ln_mode = ln_binomial(n, mode)
-        + (mode as f64) * p.ln()
-        + ((n - mode) as f64) * (1.0 - p).ln();
+    let ln_mode =
+        ln_binomial(n, mode) + (mode as f64) * p.ln() + ((n - mode) as f64) * (1.0 - p).ln();
     pmf[mode] = ln_mode.exp();
     // pmf[j+1]/pmf[j] = (n-j)/(j+1) * p/(1-p)
     let ratio = p / (1.0 - p);
@@ -115,7 +114,13 @@ pub fn poisson_binomial_expectation(probs: &[f64], h: &[f64]) -> f64 {
 /// Finds `x ∈ [lo, hi]` with `f(x) ≈ target`, assuming `f(lo) ≥ target ≥
 /// f(hi)` up to numerical slack. Returns the midpoint after `iters`
 /// halvings; 100 iterations give ~2⁻¹⁰⁰ relative interval width.
-pub fn bisect_decreasing<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64, target: f64, iters: usize) -> f64 {
+pub fn bisect_decreasing<F: Fn(f64) -> f64>(
+    f: F,
+    mut lo: f64,
+    mut hi: f64,
+    target: f64,
+    iters: usize,
+) -> f64 {
     for _ in 0..iters {
         let mid = 0.5 * (lo + hi);
         if f(mid) >= target {

@@ -125,7 +125,9 @@ impl TwoLevel {
     /// Construct, validating `c ≤ 1` (non-increasing) and finiteness.
     pub fn new(c: f64) -> Result<Self> {
         if !c.is_finite() || c > 1.0 {
-            return Err(Error::InvalidArgument(format!("two-level collision payoff must be finite and <= 1, got {c}")));
+            return Err(Error::InvalidArgument(format!(
+                "two-level collision payoff must be finite and <= 1, got {c}"
+            )));
         }
         Ok(Self { c })
     }
@@ -160,7 +162,9 @@ impl PowerLaw {
     /// Construct, validating `β ≥ 0`.
     pub fn new(beta: f64) -> Result<Self> {
         if !beta.is_finite() || beta < 0.0 {
-            return Err(Error::InvalidArgument(format!("power-law exponent must be >= 0, got {beta}")));
+            return Err(Error::InvalidArgument(format!(
+                "power-law exponent must be >= 0, got {beta}"
+            )));
         }
         Ok(Self { beta })
     }
@@ -189,7 +193,9 @@ impl LinearDecay {
     /// Construct, validating `slope ≥ 0`.
     pub fn new(slope: f64) -> Result<Self> {
         if !slope.is_finite() || slope < 0.0 {
-            return Err(Error::InvalidArgument(format!("linear-decay slope must be >= 0, got {slope}")));
+            return Err(Error::InvalidArgument(format!(
+                "linear-decay slope must be >= 0, got {slope}"
+            )));
         }
         Ok(Self { slope })
     }
@@ -219,7 +225,9 @@ impl Cooperative {
     /// Construct, validating `θ ∈ [0, 1]`.
     pub fn new(theta: f64) -> Result<Self> {
         if !(0.0..=1.0).contains(&theta) {
-            return Err(Error::InvalidArgument(format!("cooperative theta must be in [0,1], got {theta}")));
+            return Err(Error::InvalidArgument(format!(
+                "cooperative theta must be in [0,1], got {theta}"
+            )));
         }
         Ok(Self { theta })
     }
@@ -419,9 +427,15 @@ mod tests {
                 "bad".into()
             }
         }
-        assert!(matches!(validate_congestion(&Increasing, 3), Err(Error::IncreasingCongestion { .. })));
+        assert!(matches!(
+            validate_congestion(&Increasing, 3),
+            Err(Error::IncreasingCongestion { .. })
+        ));
         assert!(matches!(validate_congestion(&BadAtOne, 3), Err(Error::BadCongestionAtOne { .. })));
-        assert!(matches!(validate_congestion(&Exclusive, 0), Err(Error::InvalidPlayerCount { .. })));
+        assert!(matches!(
+            validate_congestion(&Exclusive, 0),
+            Err(Error::InvalidPlayerCount { .. })
+        ));
     }
 
     #[test]

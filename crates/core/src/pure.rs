@@ -35,7 +35,9 @@ impl PureProfile {
         }
         for (i, &s) in sites.iter().enumerate() {
             if s >= m {
-                return Err(Error::InvalidArgument(format!("player {i} chose site {s} out of {m}")));
+                return Err(Error::InvalidArgument(format!(
+                    "player {i} chose site {s} out of {m}"
+                )));
             }
         }
         Ok(Self { sites })
@@ -63,11 +65,7 @@ impl PureProfile {
     /// Realized coverage of this profile.
     pub fn coverage(&self, f: &ValueProfile) -> f64 {
         let occ = self.occupancy(f.len());
-        occ.iter()
-            .enumerate()
-            .filter(|(_, &n)| n > 0)
-            .map(|(x, _)| f.value(x))
-            .sum()
+        occ.iter().enumerate().filter(|(_, &n)| n > 0).map(|(x, _)| f.value(x)).sum()
     }
 
     /// Payoff of player `i` under policy table `c_table` (`c_table[j] =
@@ -183,9 +181,9 @@ pub fn enumerate_pure_equilibria(
         return Err(Error::InvalidPlayerCount { k });
     }
     let m = f.len();
-    let total = m.checked_pow(k as u32).ok_or_else(|| {
-        Error::InvalidArgument(format!("M^k overflows for M = {m}, k = {k}"))
-    })?;
+    let total = m
+        .checked_pow(k as u32)
+        .ok_or_else(|| Error::InvalidArgument(format!("M^k overflows for M = {m}, k = {k}")))?;
     if total > limit {
         return Err(Error::InvalidArgument(format!(
             "enumeration of {total} profiles exceeds limit {limit}"
@@ -218,7 +216,6 @@ mod tests {
     use crate::coverage::coverage;
     use crate::optimal::optimal_coverage;
     use crate::policy::{Exclusive, Sharing};
-    
 
     #[test]
     fn profile_validation() {
@@ -354,11 +351,7 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
         let mut reached = std::collections::HashSet::new();
         for _ in 0..40 {
-            let start = PureProfile::new(
-                (0..3).map(|_| rng.gen_range(0..3)).collect(),
-                3,
-            )
-            .unwrap();
+            let start = PureProfile::new((0..3).map(|_| rng.gen_range(0..3)).collect(), 3).unwrap();
             let (eq, _) = best_response_dynamics(&Exclusive, &f, start, 1000).unwrap();
             reached.insert(eq.sites.clone());
         }

@@ -199,11 +199,7 @@ mod tests {
         close(s.strategy.prob(0), 1.0 - alpha, 1e-12);
         close(s.strategy.prob(1), 1.0 - alpha / 0.3, 1e-12);
         // Equal equilibrium values on support:
-        close(
-            1.0 * (1.0 - s.strategy.prob(0)),
-            0.3 * (1.0 - s.strategy.prob(1)),
-            1e-12,
-        );
+        close(1.0 * (1.0 - s.strategy.prob(0)), 0.3 * (1.0 - s.strategy.prob(1)), 1e-12);
     }
 
     #[test]

@@ -111,7 +111,12 @@ where
             break;
         }
     }
-    Ok(AscentResult { point: Strategy::new(normalize(point))?, objective: value, iterations, last_improvement })
+    Ok(AscentResult {
+        point: Strategy::new(normalize(point))?,
+        objective: value,
+        iterations,
+        last_improvement,
+    })
 }
 
 /// Clean round-off: clamp tiny negatives and renormalize exactly.
@@ -149,12 +154,8 @@ mod tests {
 
     #[test]
     fn projection_lands_on_simplex() {
-        let cases = vec![
-            vec![2.0, -1.0, 0.5],
-            vec![-5.0, -5.0],
-            vec![0.0, 0.0, 0.0, 10.0],
-            vec![1e9, 1e9],
-        ];
+        let cases =
+            vec![vec![2.0, -1.0, 0.5], vec![-5.0, -5.0], vec![0.0, 0.0, 0.0, 10.0], vec![1e9, 1e9]];
         for v in cases {
             let p = project_to_simplex(&v);
             let sum: f64 = p.iter().sum();

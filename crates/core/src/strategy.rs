@@ -137,12 +137,7 @@ impl Strategy {
 
     /// The support: sites with probability above `tol`.
     pub fn support(&self, tol: f64) -> Vec<usize> {
-        self.probs
-            .iter()
-            .enumerate()
-            .filter(|(_, &p)| p > tol)
-            .map(|(i, _)| i)
-            .collect()
+        self.probs.iter().enumerate().filter(|(_, &p)| p > tol).map(|(i, _)| i).collect()
     }
 
     /// Size of the support at tolerance `tol`.
@@ -152,12 +147,7 @@ impl Strategy {
 
     /// Shannon entropy (nats). Zero-probability sites contribute zero.
     pub fn entropy(&self) -> f64 {
-        -crate::numerics::kahan_sum(
-            self.probs
-                .iter()
-                .filter(|&&p| p > 0.0)
-                .map(|&p| p * p.ln()),
-        )
+        -crate::numerics::kahan_sum(self.probs.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()))
     }
 
     /// Total-variation distance to another strategy of the same dimension.
@@ -191,7 +181,9 @@ impl Strategy {
             return Err(Error::DimensionMismatch { strategy: self.len(), profile: other.len() });
         }
         if !(0.0..=1.0).contains(&eps) {
-            return Err(Error::InvalidArgument(format!("mixture weight must be in [0,1], got {eps}")));
+            return Err(Error::InvalidArgument(format!(
+                "mixture weight must be in [0,1], got {eps}"
+            )));
         }
         Strategy::new(
             self.probs
@@ -298,7 +290,10 @@ mod tests {
         assert_eq!(Strategy::new(vec![]).unwrap_err(), Error::EmptyStrategy);
         assert!(matches!(Strategy::new(vec![0.5, -0.5]), Err(Error::InvalidProbability { .. })));
         assert!(matches!(Strategy::new(vec![0.5, 0.4]), Err(Error::NotNormalized { .. })));
-        assert!(matches!(Strategy::new(vec![f64::NAN, 1.0]), Err(Error::InvalidProbability { .. })));
+        assert!(matches!(
+            Strategy::new(vec![f64::NAN, 1.0]),
+            Err(Error::InvalidProbability { .. })
+        ));
     }
 
     #[test]

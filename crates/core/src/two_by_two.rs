@@ -56,7 +56,9 @@ pub fn solve_two_by_two(f1: f64, f2: f64, c: f64) -> Result<TwoByTwo> {
         return Err(Error::InvalidArgument(format!("need f1 >= f2 > 0, got f1 = {f1}, f2 = {f2}")));
     }
     if !(c.is_finite() && c < 1.0) {
-        return Err(Error::InvalidArgument(format!("need c < 1 for a non-degenerate game, got {c}")));
+        return Err(Error::InvalidArgument(format!(
+            "need c < 1 for a non-degenerate game, got {c}"
+        )));
     }
     let a = 1.0 - c;
     // IFD: f1 (1 - a p) = f2 (1 - a (1 - p)).

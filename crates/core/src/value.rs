@@ -54,14 +54,15 @@ impl ValueProfile {
 
     /// `M` identical sites of value `v`.
     pub fn uniform(m: usize, v: f64) -> Result<Self> {
-        Self::new(vec![v; m.max(1)].into_iter().take(m).collect::<Vec<_>>())
-            .map_err(|e| if m == 0 { Error::EmptyProfile } else { e })
+        Self::new(vec![v; m])
     }
 
     /// Geometric decay: `f(x) = scale · ρ^(x−1)` for `x = 1..=m`, `0 < ρ ≤ 1`.
     pub fn geometric(m: usize, scale: f64, rho: f64) -> Result<Self> {
         if !(0.0..=1.0).contains(&rho) || rho == 0.0 {
-            return Err(Error::InvalidArgument(format!("geometric ratio must be in (0, 1], got {rho}")));
+            return Err(Error::InvalidArgument(format!(
+                "geometric ratio must be in (0, 1], got {rho}"
+            )));
         }
         let mut values = Vec::with_capacity(m);
         let mut v = scale;
@@ -84,7 +85,9 @@ impl ValueProfile {
     /// `hi ≥ lo > 0`. For `m = 1` the single site has value `hi`.
     pub fn linear(m: usize, hi: f64, lo: f64) -> Result<Self> {
         if hi < lo {
-            return Err(Error::InvalidArgument(format!("linear profile needs hi >= lo, got {hi} < {lo}")));
+            return Err(Error::InvalidArgument(format!(
+                "linear profile needs hi >= lo, got {hi} < {lo}"
+            )));
         }
         if m == 1 {
             return Self::new(vec![hi]);
@@ -103,7 +106,8 @@ impl ValueProfile {
         }
         // Target total decay strictly inside the allowed band.
         let bound = (1.0 - 1.0 / (2.0 * k as f64)).powi(k as i32 - 1);
-        let target_ratio = 0.5 * (1.0 + bound); // strictly between bound and 1
+        // Strictly between bound and 1.
+        let target_ratio = 0.5 * (1.0 + bound);
         // Geometric interpolation keeps the profile strictly decreasing.
         let per_step = target_ratio.powf(1.0 / ((m.max(2) - 1) as f64));
         Self::geometric(m, 1.0, per_step)

@@ -31,28 +31,25 @@ pub fn welfare_optimum(c: &dyn Congestion, f: &ValueProfile, k: usize) -> Result
 }
 
 /// Maximize `U(p)` using a prebuilt payoff context.
-pub fn welfare_optimum_with_context(ctx: &PayoffContext, f: &ValueProfile) -> Result<WelfareOptimum> {
+pub fn welfare_optimum_with_context(
+    ctx: &PayoffContext,
+    f: &ValueProfile,
+) -> Result<WelfareOptimum> {
     let m = f.len();
     let k = ctx.k();
     if m == 2 {
         // Exact 1-D optimization for the Figure 1 geometry.
         return welfare_optimum_two_sites(ctx, f);
     }
-    let mut starts = vec![
-        Strategy::uniform(m)?,
-        Strategy::proportional(f.values())?,
-        Strategy::delta(m, 0)?,
-    ];
+    let mut starts =
+        vec![Strategy::uniform(m)?, Strategy::proportional(f.values())?, Strategy::delta(m, 0)?];
     if k >= 2 {
         if let Ok(star) = crate::sigma_star::sigma_star(f, k) {
             starts.push(star.strategy);
         }
     }
     let objective = |p: &[f64]| -> f64 {
-        p.iter()
-            .zip(f.values().iter())
-            .map(|(&px, &fx)| px * fx * ctx.g(px))
-            .sum()
+        p.iter().zip(f.values().iter()).map(|(&px, &fx)| px * fx * ctx.g(px)).sum()
     };
     let gradient = |p: &[f64]| -> Vec<f64> {
         p.iter()

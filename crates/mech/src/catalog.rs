@@ -45,9 +45,11 @@ pub fn parse_policy(spec: &str) -> Result<Box<dyn Congestion>> {
         None => (spec, None),
     };
     let parse_arg = |what: &str| -> Result<f64> {
-        arg.ok_or_else(|| Error::InvalidArgument(format!("{what} requires an argument, e.g. {what}:0.3")))?
-            .parse::<f64>()
-            .map_err(|e| Error::InvalidArgument(format!("bad {what} argument: {e}")))
+        arg.ok_or_else(|| {
+            Error::InvalidArgument(format!("{what} requires an argument, e.g. {what}:0.3"))
+        })?
+        .parse::<f64>()
+        .map_err(|e| Error::InvalidArgument(format!("bad {what} argument: {e}")))
     };
     match head {
         "exclusive" => Ok(Box::new(Exclusive)),

@@ -131,7 +131,13 @@ mod tests {
         // Exclusive should have the (weakly) best SPoA in the catalog.
         let excl = evals.iter().find(|e| e.policy == "exclusive").unwrap();
         for e in &evals {
-            assert!(excl.spoa <= e.spoa + 1e-7, "{} beats exclusive: {} < {}", e.policy, e.spoa, excl.spoa);
+            assert!(
+                excl.spoa <= e.spoa + 1e-7,
+                "{} beats exclusive: {} < {}",
+                e.policy,
+                e.spoa,
+                excl.spoa
+            );
         }
     }
 }

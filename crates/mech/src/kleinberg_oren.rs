@@ -45,7 +45,9 @@ pub fn design_rewards(
     top_reward: f64,
 ) -> Result<RewardDesign> {
     if !(top_reward.is_finite() && top_reward > 0.0) {
-        return Err(Error::InvalidArgument(format!("top_reward must be positive, got {top_reward}")));
+        return Err(Error::InvalidArgument(format!(
+            "top_reward must be positive, got {top_reward}"
+        )));
     }
     let ctx = PayoffContext::new(c, k)?;
     if ctx.is_degenerate() {
@@ -92,11 +94,7 @@ pub fn design_rewards(
 
 /// Verify a design: solve the IFD under `(c, rewards, k)` and return the
 /// distance to the intended target.
-pub fn verify_design(
-    c: &dyn Congestion,
-    design: &RewardDesign,
-    target: &Strategy,
-) -> Result<f64> {
+pub fn verify_design(c: &dyn Congestion, design: &RewardDesign, target: &Strategy) -> Result<f64> {
     let ifd = dispersal_core::ifd::solve_ifd(c, &design.rewards, design.k)?;
     ifd.strategy.linf_distance(target)
 }

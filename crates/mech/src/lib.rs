@@ -30,5 +30,7 @@ pub mod prelude {
     pub use crate::evaluator::{evaluate_catalog, evaluate_policy, PolicyEvaluation};
     pub use crate::kleinberg_oren::{design_rewards, verify_design, RewardDesign};
     pub use crate::report::{ascii_plot, markdown_table, to_csv, Series};
-    pub use crate::robustness::{k_misspecification_curve, value_noise_robustness, KMisspecPoint, NoiseRobustness};
+    pub use crate::robustness::{
+        k_misspecification_curve, value_noise_robustness, KMisspecPoint, NoiseRobustness,
+    };
 }

@@ -64,12 +64,12 @@ pub fn ascii_plot(title: &str, xs: &[f64], series: &[Series], height: usize) -> 
     }
     let mut out = String::new();
     let _ = writeln!(out, "# {title}");
-    let _ = writeln!(out, "# y in [{lo:.4}, {hi:.4}], x in [{:.4}, {:.4}]", xs[0], xs[xs.len() - 1]);
+    let _ =
+        writeln!(out, "# y in [{lo:.4}, {hi:.4}], x in [{:.4}, {:.4}]", xs[0], xs[xs.len() - 1]);
     for row in &grid {
         let _ = writeln!(out, "|{}|", row.iter().collect::<String>());
     }
-    let legend: Vec<String> =
-        series.iter().map(|s| format!("{} = {}", s.glyph, s.label)).collect();
+    let legend: Vec<String> = series.iter().map(|s| format!("{} = {}", s.glyph, s.label)).collect();
     let _ = writeln!(out, "# legend: {}", legend.join(", "));
     out
 }

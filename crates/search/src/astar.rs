@@ -27,7 +27,8 @@ pub fn sigma_star_unsorted(weights: &[f64], k: usize) -> Result<Strategy> {
         return Err(Error::EmptyProfile);
     }
     let mut order: Vec<usize> = (0..m).collect();
-    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order
+        .sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap_or(std::cmp::Ordering::Equal));
     let sorted: Vec<f64> = order.iter().map(|&i| weights[i]).collect();
     let profile = ValueProfile::new(sorted)?;
     let star = sigma_star(&profile, k)?;
@@ -55,7 +56,11 @@ impl IteratedSigmaStar {
         if k == 0 {
             return Err(Error::InvalidPlayerCount { k });
         }
-        Ok(Self { k, weights: (0..prior.len()).map(|x| prior.mass(x)).collect(), rounds: Vec::new() })
+        Ok(Self {
+            k,
+            weights: (0..prior.len()).map(|x| prior.mass(x)).collect(),
+            rounds: Vec::new(),
+        })
     }
 
     fn extend_to(&mut self, t: usize) {

@@ -103,9 +103,8 @@ pub fn simulate_detection_time<R: Rng + ?Sized>(
         }
         samplers.push(StrategySampler::new(&p));
     }
-    let prior_strategy = dispersal_core::strategy::Strategy::new(
-        (0..m).map(|x| prior.mass(x)).collect(),
-    )?;
+    let prior_strategy =
+        dispersal_core::strategy::Strategy::new((0..m).map(|x| prior.mass(x)).collect())?;
     let treasure_sampler = StrategySampler::new(&prior_strategy);
     let mut total = 0.0;
     for _ in 0..trials {
@@ -150,9 +149,8 @@ pub fn simulate_detection_time_with_memory<R: Rng + ?Sized>(
         }
         rounds.push(p);
     }
-    let prior_strategy = dispersal_core::strategy::Strategy::new(
-        (0..m).map(|x| prior.mass(x)).collect(),
-    )?;
+    let prior_strategy =
+        dispersal_core::strategy::Strategy::new((0..m).map(|x| prior.mass(x)).collect())?;
     let treasure_sampler = StrategySampler::new(&prior_strategy);
     let mut total = 0.0;
     // opened[searcher][box]
@@ -280,7 +278,12 @@ mod tests {
         let mut prop = ProportionalPlan::new(&prior);
         let a = evaluate_plan(&mut astar, &prior, k, 300).unwrap();
         let p = evaluate_plan(&mut prop, &prior, k, 300).unwrap();
-        assert!(a.expected_rounds < p.expected_rounds, "{} vs {}", a.expected_rounds, p.expected_rounds);
+        assert!(
+            a.expected_rounds < p.expected_rounds,
+            "{} vs {}",
+            a.expected_rounds,
+            p.expected_rounds
+        );
     }
 
     #[test]
@@ -326,10 +329,7 @@ mod tests {
         let with_memory =
             simulate_detection_time_with_memory(&mut plan_b, &prior, k, 40_000, 200, &mut rng)
                 .unwrap();
-        assert!(
-            with_memory < memoryless,
-            "memory should help: {with_memory} vs {memoryless}"
-        );
+        assert!(with_memory < memoryless, "memory should help: {with_memory} vs {memoryless}");
     }
 
     #[test]

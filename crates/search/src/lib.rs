@@ -26,7 +26,10 @@ pub mod prelude {
     pub use crate::analysis::{round_success_probability, speedup_curve, SpeedupPoint};
     pub use crate::astar::{sigma_star_unsorted, IteratedSigmaStar};
     pub use crate::baselines::{ProportionalPlan, SweepPlan, UniformPlan};
-    pub use crate::game::{evaluate_plan, simulate_detection_time, simulate_detection_time_with_memory, SearchEvaluation};
+    pub use crate::game::{
+        evaluate_plan, simulate_detection_time, simulate_detection_time_with_memory,
+        SearchEvaluation,
+    };
     pub use crate::plan::{SchedulePlan, SearchPlan};
     pub use crate::prior::Prior;
 }

@@ -126,7 +126,10 @@ fn validate(f: &ValueProfile, start: &Strategy, config: DynamicsConfig) -> Resul
         )));
     }
     if config.beta < 0.0 || !config.beta.is_finite() {
-        return Err(Error::InvalidArgument(format!("beta must be finite and >= 0, got {}", config.beta)));
+        return Err(Error::InvalidArgument(format!(
+            "beta must be finite and >= 0, got {}",
+            config.beta
+        )));
     }
     Ok(())
 }
@@ -152,7 +155,12 @@ mod tests {
                 &f,
                 &Strategy::uniform(3).unwrap(),
                 k,
-                DynamicsConfig { beta: 400.0, max_steps: 300_000, tol: 1e-13, ..Default::default() },
+                DynamicsConfig {
+                    beta: 400.0,
+                    max_steps: 300_000,
+                    tol: 1e-13,
+                    ..Default::default()
+                },
             )
             .unwrap();
             let d = tv_to_ifd(&run, c, &f, k);

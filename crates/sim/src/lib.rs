@@ -35,7 +35,9 @@ pub mod sweep;
 pub mod prelude {
     pub use crate::dynamics::{run_fictitious_play, run_logit, DynamicsConfig, DynamicsRun};
     pub use crate::invasion::{invasion_sweep, run_invasion, InvasionConfig, InvasionReport};
-    pub use crate::montecarlo::{estimate_profile_coverage, estimate_symmetric, McConfig, McReport};
+    pub use crate::montecarlo::{
+        estimate_profile_coverage, estimate_symmetric, McConfig, McReport,
+    };
     pub use crate::moran::{run_moran, MoranConfig, MoranRun};
     pub use crate::oneshot::{OneShotGame, Outcome};
     pub use crate::replicator::{run_replicator, ReplicatorConfig, ReplicatorRun};

@@ -63,8 +63,8 @@ pub fn estimate_symmetric(
         .into_par_iter()
         .map(|shard| {
             let mut rng = seed.stream(shard + 1);
-            let mut game = OneShotGame::symmetric(f, c, strategy, k)
-                .expect("validated before sharding");
+            let mut game =
+                OneShotGame::symmetric(f, c, strategy, k).expect("validated before sharding");
             let n = per_shard + if shard < remainder { 1 } else { 0 };
             let mut cov = Welford::new();
             let mut pay = Welford::new();

@@ -79,7 +79,10 @@ pub fn run_moran(
         )));
     }
     if !(0.0..=1.0).contains(&config.mutation) {
-        return Err(Error::InvalidArgument(format!("mutation must be in [0,1], got {}", config.mutation)));
+        return Err(Error::InvalidArgument(format!(
+            "mutation must be in [0,1], got {}",
+            config.mutation
+        )));
     }
     if config.burn_in >= config.generations {
         return Err(Error::InvalidArgument(format!(
@@ -143,11 +146,8 @@ pub fn run_moran(
                 break;
             }
         }
-        let child_site = if rng.gen::<f64>() < config.mutation {
-            rng.gen_range(0..m)
-        } else {
-            sites[parent]
-        };
+        let child_site =
+            if rng.gen::<f64>() < config.mutation { rng.gen_range(0..m) } else { sites[parent] };
         let dying = rng.gen_range(0..n);
         sites[dying] = child_site;
         if generation >= config.burn_in {
@@ -158,9 +158,8 @@ pub fn run_moran(
         }
     }
     let norm = (recorded as f64) * (n as f64);
-    let mean_frequencies = Strategy::from_weights(
-        freq_acc.iter().map(|&x| (x / norm).max(1e-15)).collect(),
-    )?;
+    let mean_frequencies =
+        Strategy::from_weights(freq_acc.iter().map(|&x| (x / norm).max(1e-15)).collect())?;
     let mut final_counts = vec![0usize; m];
     for &s in &sites {
         final_counts[s] += 1;

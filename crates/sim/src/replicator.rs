@@ -131,13 +131,7 @@ pub fn run_replicator(
             break;
         }
     }
-    Ok(ReplicatorRun {
-        state: Strategy::new(x)?,
-        steps,
-        final_velocity,
-        converged,
-        trajectory,
-    })
+    Ok(ReplicatorRun { state: Strategy::new(x)?, steps, final_velocity, converged, trajectory })
 }
 
 #[cfg(test)]

@@ -65,18 +65,14 @@ mod tests {
 
     #[test]
     fn grid_has_full_cross_product() {
-        let cells = sweep_grid(&instances(), &[2, 4, 8], 1, |f, k, _| {
-            Ok(optimal_coverage(f, k)?.coverage)
-        })
-        .unwrap();
+        let cells =
+            sweep_grid(&instances(), &[2, 4, 8], 1, |f, k, _| Ok(optimal_coverage(f, k)?.coverage))
+                .unwrap();
         assert_eq!(cells.len(), 6);
         // Coverage grows with k within each instance.
         for name in ["zipf", "geometric"] {
-            let series: Vec<f64> = cells
-                .iter()
-                .filter(|c| c.instance == name)
-                .map(|c| c.output)
-                .collect();
+            let series: Vec<f64> =
+                cells.iter().filter(|c| c.instance == name).map(|c| c.output).collect();
             assert_eq!(series.len(), 3);
             assert!(series[0] < series[1] && series[1] < series[2]);
         }
@@ -106,9 +102,8 @@ mod tests {
 
     #[test]
     fn errors_propagate() {
-        let out: Result<Vec<SweepCell<f64>>> = sweep_grid(&instances(), &[2], 1, |_, _, _| {
-            Err(Error::InvalidArgument("boom".into()))
-        });
+        let out: Result<Vec<SweepCell<f64>>> =
+            sweep_grid(&instances(), &[2], 1, |_, _, _| Err(Error::InvalidArgument("boom".into())));
         assert!(out.is_err());
     }
 }

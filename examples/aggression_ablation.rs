@@ -17,7 +17,10 @@ fn main() -> Result<()> {
     let k = 6usize;
     let optimum = optimal_coverage(&f, k)?.coverage;
     println!("M = 15 Zipf sites, k = {k}; optimal symmetric coverage {optimum:.4}\n");
-    println!("{:>6} | {:>9} | {:>9} | {:>7} | {:>9}", "c", "coverage", "payoff", "support", "% optimum");
+    println!(
+        "{:>6} | {:>9} | {:>9} | {:>7} | {:>9}",
+        "c", "coverage", "payoff", "support", "% optimum"
+    );
     println!("{}", "-".repeat(55));
     let mut best_c = f64::NAN;
     let mut best_cov = f64::NEG_INFINITY;

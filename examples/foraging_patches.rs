@@ -16,7 +16,10 @@ fn main() -> Result<()> {
     // 12 patches, geometric abundance decay; 6 foragers per species.
     let patches = ValueProfile::geometric(12, 10.0, 0.75)?;
     let k = 6;
-    println!("patch values: {:?}", patches.values().iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "patch values: {:?}",
+        patches.values().iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
     println!("total food available: {:.2}\n", patches.total());
 
     let species: Vec<(&str, Box<dyn Congestion>)> = vec![
@@ -51,10 +54,7 @@ fn main() -> Result<()> {
             k,
             McConfig { trials: 200_000, seed: 1, shards: 32 },
         )?;
-        println!(
-            "  simulated coverage: {:.3} +/- {:.3}\n",
-            mc.coverage.mean, mc.coverage.ci95
-        );
+        println!("  simulated coverage: {:.3} +/- {:.3}\n", mc.coverage.mean, mc.coverage.ci95);
         assert!(mc.coverage.covers(group_coverage, 1e-2));
     }
 

@@ -44,7 +44,10 @@ fn main() -> Result<()> {
         "Kleinberg-Oren designed grants: coverage {:.4} (design error {:.1e})",
         ko_cov, design_err
     );
-    println!("  distorted grant sizes: {:?}", design.rewards.values().iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "  distorted grant sizes: {:?}",
+        design.rewards.values().iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+    );
     println!("  !! valid only for exactly k = {k} researchers");
     let stale = solve_ifd(&Sharing, &design.rewards, k + 3)?; // audience grew
     let stale_cov = coverage(&topics, &stale.strategy, k + 3)?;
@@ -59,10 +62,7 @@ fn main() -> Result<()> {
     // --- Mechanism 2: the exclusive credit norm (this paper).
     let priority = solve_ifd(&Exclusive, &topics, k)?;
     let excl_cov = coverage(&topics, &priority.strategy, k)?;
-    println!(
-        "exclusive credit norm:          coverage {:.4} (= optimal, no k needed)",
-        excl_cov
-    );
+    println!("exclusive credit norm:          coverage {:.4} (= optimal, no k needed)", excl_cov);
     // And it self-adjusts when the community grows:
     let grown = solve_ifd(&Exclusive, &topics, k + 3)?;
     let grown_cov = coverage(&topics, &grown.strategy, k + 3)?;

@@ -38,7 +38,10 @@ fn main() -> Result<()> {
         evaluate_plan(&mut iterated, &prior, drones, horizon)?.expected_rounds,
     ));
     let mut uniform = UniformPlan::new(sectors);
-    results.push(("uniform dispatch".into(), evaluate_plan(&mut uniform, &prior, drones, horizon)?.expected_rounds));
+    results.push((
+        "uniform dispatch".into(),
+        evaluate_plan(&mut uniform, &prior, drones, horizon)?.expected_rounds,
+    ));
     let mut proportional = ProportionalPlan::new(&prior);
     results.push((
         "prior-matching dispatch".into(),
@@ -61,8 +64,14 @@ fn main() -> Result<()> {
     // Monte-Carlo sanity check, with drones remembering their own visits.
     let mut plan_mc = IteratedSigmaStar::new(&prior, drones)?;
     let mut rng = ChaCha8Rng::seed_from_u64(7);
-    let with_memory =
-        simulate_detection_time_with_memory(&mut plan_mc, &prior, drones, 30_000, horizon, &mut rng)?;
+    let with_memory = simulate_detection_time_with_memory(
+        &mut plan_mc,
+        &prior,
+        drones,
+        30_000,
+        horizon,
+        &mut rng,
+    )?;
     println!(
         "\nwith per-drone memory (no self-repeats) the simulated time drops to {with_memory:.2} rounds"
     );

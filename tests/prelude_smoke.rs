@@ -1,0 +1,46 @@
+//! API lock for the umbrella crate: `selfish_explorers::prelude::*` must
+//! expose the paper's core entry points. This is a compile-time guard on
+//! the re-export wiring (plus one tiny end-to-end exercise), so a future
+//! refactor of the member crates' preludes cannot silently break the
+//! umbrella surface.
+
+use selfish_explorers::prelude::*;
+
+/// Referencing each symbol as a value/path forces a compile error if any
+/// re-export disappears, independent of what the runtime check covers.
+#[test]
+fn prelude_exposes_core_entry_points() {
+    let _sigma: fn(&ValueProfile, usize) -> Result<SigmaStar> = sigma_star;
+    let _optimal: fn(&ValueProfile, usize) -> Result<OptimalCoverage> = optimal_coverage;
+    let _coverage: fn(&ValueProfile, &Strategy, usize) -> Result<f64> = coverage;
+    let _catalog: fn() -> Vec<NamedPolicy> = standard_catalog;
+    let _mc: fn(&ValueProfile, &dyn Congestion, &Strategy, usize, McConfig) -> Result<McReport> =
+        estimate_symmetric;
+}
+
+#[test]
+fn prelude_symbols_work_end_to_end() {
+    let f = ValueProfile::new(vec![1.0, 0.3]).unwrap();
+    let k = 2;
+
+    let star = sigma_star(&f, k).unwrap();
+    let opt = optimal_coverage(&f, k).unwrap();
+    let cov = coverage(&f, &star.strategy, k).unwrap();
+    assert!((cov - opt.coverage).abs() < 1e-9, "sigma* must be coverage-optimal (Theorem 4)");
+
+    assert!(!standard_catalog().is_empty(), "catalog must ship named policies");
+
+    let report = estimate_symmetric(
+        &f,
+        &Exclusive,
+        &star.strategy,
+        k,
+        McConfig { trials: 20_000, seed: 7, shards: 4 },
+    )
+    .unwrap();
+    assert!(
+        (report.coverage.mean - cov).abs() < 0.05,
+        "Monte Carlo coverage {} far from analytic {cov}",
+        report.coverage.mean
+    );
+}

@@ -18,11 +18,7 @@ fn sweep_grid_confirms_exclusive_dominance_everywhere() {
         let excl = solve_ifd(&Exclusive, f, k)?;
         let share = solve_ifd(&Sharing, f, k)?;
         let opt = optimal_coverage(f, k)?;
-        Ok((
-            coverage(f, &excl.strategy, k)?,
-            coverage(f, &share.strategy, k)?,
-            opt.coverage,
-        ))
+        Ok((coverage(f, &excl.strategy, k)?, coverage(f, &share.strategy, k)?, opt.coverage))
     })
     .unwrap();
     assert_eq!(cells.len(), instances.len() * ks.len());

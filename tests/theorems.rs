@@ -70,8 +70,8 @@ fn theorem3_sigma_star_is_ess() {
 
 #[test]
 fn theorem4_sigma_star_uniquely_maximizes_coverage() {
-    use rand::SeedableRng;
     use rand::Rng;
+    use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
     for (f, k) in instance_grid() {
         let star = sigma_star(&f, k).unwrap();

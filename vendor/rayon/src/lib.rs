@@ -1,0 +1,43 @@
+//! Offline vendored shim of the `rayon` API surface used by this
+//! workspace. Registry access is unavailable in the build container, so
+//! `par_iter`/`into_par_iter` degrade to ordinary **sequential** std
+//! iterators: every adapter (`map`, `zip`, `enumerate`, `collect`, …) is
+//! then just the std `Iterator` machinery, and results are identical to a
+//! rayon run because all call sites here use order-independent reductions
+//! with per-shard RNG streams.
+//!
+//! Swapping the real rayon back in later is a one-line manifest change —
+//! no call sites need to be touched.
+
+pub mod prelude {
+    /// Sequential stand-in for `rayon::prelude::IntoParallelIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// "Parallel" iterator over `self` (sequential in this shim).
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// Sequential stand-in for `rayon::prelude::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type produced by [`Self::par_iter`].
+        type Iter: Iterator;
+
+        /// "Parallel" iterator over `&self` (sequential in this shim).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: ?Sized> IntoParallelRefIterator<'data> for T
+    where
+        &'data T: IntoIterator,
+        T: 'data,
+    {
+        type Iter = <&'data T as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}

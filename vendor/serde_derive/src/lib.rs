@@ -1,0 +1,338 @@
+//! Derive macros for the vendored mini-serde.
+//!
+//! `syn`/`quote` are unavailable offline, so this crate parses the derive
+//! input by walking the raw [`proc_macro::TokenStream`]. It supports the
+//! shapes this workspace actually uses:
+//!
+//! * structs with named fields (including a simple `<T>` generic list),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generated code targets the stub's `to_value`/`from_value` model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Skip attribute tokens (`#[...]`, including expanded doc comments) and a
+/// `pub` / `pub(...)` visibility prefix, starting at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split the tokens of a brace/paren group on commas that sit outside any
+/// `<...>` nesting (generic arguments expose `,` at the same token depth).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extract field names from the token list of a named-fields group.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level(tokens)
+        .into_iter()
+        .filter_map(|chunk| {
+            let i = skip_attrs_and_vis(&chunk, 0);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, got {other}"),
+    };
+    i += 1;
+
+    // Simple generic parameter list: `<A, B, ...>` (no bounds, as used in
+    // this workspace).
+    let mut generics = Vec::new();
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1;
+        while depth > 0 {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Ident(id) if depth == 1 => generics.push(id.to_string()),
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    let shape = if kw == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct(parse_named_fields(&body))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("derive: unsupported struct shape near {other:?}"),
+        }
+    } else if kw == "enum" {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                g.stream().into_iter().collect::<Vec<TokenTree>>()
+            }
+            other => panic!("derive: expected enum body, got {other:?}"),
+        };
+        let variants = split_top_level(&body)
+            .into_iter()
+            .filter_map(|chunk| {
+                let j = skip_attrs_and_vis(&chunk, 0);
+                let vname = match chunk.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    _ => return None,
+                };
+                let kind = match chunk.get(j + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantKind::Named(parse_named_fields(&body))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantKind::Tuple(split_top_level(&body).len())
+                    }
+                    _ => VariantKind::Unit,
+                };
+                Some(Variant { name: vname, kind })
+            })
+            .collect();
+        Shape::Enum(variants)
+    } else {
+        panic!("derive: expected `struct` or `enum`, got `{kw}`");
+    };
+
+    Input { name, generics, shape }
+}
+
+/// Render `impl<T: Bound, ...>` + `Type<T, ...>` header pieces.
+fn impl_header(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), input.name.clone())
+    } else {
+        let params: Vec<String> =
+            input.generics.iter().map(|g| format!("{g}: {bound}")).collect();
+        (format!("<{}>", params.join(", ")), format!("{}<{}>", input.name, input.generics.join(", ")))
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let (params, ty) = impl_header(&input, "::serde::Serialize");
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "entries.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut entries: Vec<(String, ::serde::Value)> = Vec::new(); {pushes} ::serde::Value::Object(entries)"
+            )
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let name = &input.name;
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{items}]))]),",
+                                items = items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all, unused_variables)]\nimpl{params} ::serde::Serialize for {ty} {{\n    fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated code failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let (params, ty) = impl_header(&input, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(entries, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = v.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object for struct {name}\"))?; Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::UnitStruct => format!("let _ = v; Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => return Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(n) => {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(items.get({k}).ok_or_else(|| ::serde::DeError::custom(\"variant {vn}: missing element {k}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let items = inner.as_array().ok_or_else(|| ::serde::DeError::custom(\"variant {vn}: expected array\"))?; return Ok({name}::{vn}({gets})); }}",
+                                gets = gets.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(entries, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let entries = inner.as_object().ok_or_else(|| ::serde::DeError::custom(\"variant {vn}: expected object\"))?; return Ok({name}::{vn} {{ {inits} }}); }}",
+                                inits = inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(s) = v.as_str() {{ match s {{ {unit_arms} _ => {{}} }} }} \
+                 if let Some(entries) = v.as_object() {{ if entries.len() == 1 {{ \
+                 let (tag, inner) = &entries[0]; let _ = inner; match tag.as_str() {{ {tagged_arms} _ => {{}} }} }} }} \
+                 Err(::serde::DeError::custom(\"no matching variant of {name}\"))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all, unused_variables, unreachable_code)]\nimpl{params} ::serde::Deserialize for {ty} {{\n    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}"
+    )
+    .parse()
+    .expect("derive(Deserialize): generated code failed to parse")
+}
