@@ -1,0 +1,47 @@
+//! Benchmark: Monte-Carlo throughput (trials/sec) through the unified
+//! `sim::engine` at 1 vs N worker threads — the parallel-speedup
+//! trajectory recorded in `BENCH_engine.json` at the repo root.
+//!
+//! The thread count is swept with `rayon::set_num_threads`, an atomic
+//! override specific to the vendored pool (registry rayon pins its global
+//! pool at first use — there this file fails to compile, on purpose, so
+//! the sweep is not silently reduced to one pool size). On a single-core
+//! host the multi-thread rows measure pool overhead, not speedup; record
+//! the host core count next to any number you archive.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersal_core::policy::Exclusive;
+use dispersal_core::strategy::Strategy;
+use dispersal_core::value::ValueProfile;
+use dispersal_sim::montecarlo::{estimate_symmetric, McConfig};
+
+const TRIALS: u64 = 200_000;
+
+fn bench_engine_thread_sweep(c: &mut Criterion) {
+    let f = ValueProfile::zipf(20, 1.0, 1.0).unwrap();
+    let p = Strategy::proportional(f.values()).unwrap();
+    let mut group = c.benchmark_group("engine_mc_200k_trials");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        rayon::set_num_threads(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| {
+                black_box(
+                    estimate_symmetric(
+                        &f,
+                        &Exclusive,
+                        &p,
+                        8,
+                        McConfig { trials: TRIALS, seed: 2, shards: 64 },
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    rayon::set_num_threads(0);
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_thread_sweep);
+criterion_main!(benches);

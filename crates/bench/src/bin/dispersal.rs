@@ -16,6 +16,7 @@
 //! linear:<M>:<hi>:<lo> | uniform:<M>:<v> | slow-decay:<M>:<k> |
 //! values:<v1>,<v2>,…`.
 
+use dispersal_bench::runner::parse_flags;
 use dispersal_core::prelude::*;
 use dispersal_mech::catalog::{parse_policy, parse_profile};
 use dispersal_mech::evaluator::evaluate_catalog;
@@ -28,28 +29,15 @@ const USAGE: &str = "usage: dispersal <solve|sigma-star|optimal|spoa|ess|evaluat
                      [--policy <spec>] --profile <spec> -k <n> [--mutants <n>] [--seed <n>]\n\
                      run `dispersal help` for spec syntax";
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>> {
-    let mut flags = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        let key = match args[i].as_str() {
-            "--policy" => "policy",
-            "--profile" => "profile",
-            "-k" | "--players" => "k",
-            "--mutants" => "mutants",
-            "--seed" => "seed",
-            other => {
-                return Err(Error::InvalidArgument(format!("unknown flag: {other}")));
-            }
-        };
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| Error::InvalidArgument(format!("flag {} needs a value", args[i])))?;
-        flags.insert(key.to_string(), value.clone());
-        i += 2;
-    }
-    Ok(flags)
-}
+/// Flag table for the shared parser in `dispersal_bench::runner`.
+const FLAG_SPEC: &[(&str, &str)] = &[
+    ("--policy", "policy"),
+    ("--profile", "profile"),
+    ("-k", "k"),
+    ("--players", "k"),
+    ("--mutants", "mutants"),
+    ("--seed", "seed"),
+];
 
 fn get_k(flags: &HashMap<String, String>) -> Result<usize> {
     flags
@@ -88,7 +76,7 @@ fn run() -> Result<()> {
         println!("{USAGE}");
         return Ok(());
     }
-    let flags = parse_flags(&args[1..])?;
+    let flags = parse_flags(&args[1..], FLAG_SPEC)?;
     match command.as_str() {
         "solve" => {
             let f = get_profile(&flags)?;

@@ -10,12 +10,17 @@
 //!
 //! Output: `results/extensions.csv`.
 
-use dispersal_bench::write_result;
+use dispersal_bench::runner::{experiment_main, RunContext};
 use dispersal_core::extensions::{capacity_coverage, solve_ifd_with_costs};
 use dispersal_core::prelude::*;
 use dispersal_mech::report::to_csv;
+use std::process::ExitCode;
 
-fn main() -> Result<()> {
+fn main() -> ExitCode {
+    experiment_main("exp_extensions", run)
+}
+
+fn run(ctx: &mut RunContext) -> Result<()> {
     let f = ValueProfile::new(vec![1.0, 0.8, 0.6, 0.4])?;
     let k = 4usize;
     let mut rows: Vec<Vec<f64>> = Vec::new();
@@ -62,7 +67,7 @@ fn main() -> Result<()> {
     let mut csv = to_csv(&["tax", "p_taxed_site", "net_value", "coverage"], &rows);
     csv.push('\n');
     csv.push_str(&to_csv(&["cap", "sigma_star_extraction", "point_mass_extraction"], &cap_rows));
-    let path = write_result("extensions.csv", &csv)?;
+    let path = ctx.write_result("extensions.csv", &csv)?;
     println!("\nEXT: wrote {}", path.display());
     Ok(())
 }

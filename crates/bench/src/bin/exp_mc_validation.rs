@@ -5,19 +5,24 @@
 //! and Eq. (2). Everything must land inside the 95% CI (+ small slack).
 //! Output: `results/mc_validation.csv`.
 
-use dispersal_bench::write_result;
+use dispersal_bench::runner::{experiment_main, RunContext};
 use dispersal_core::prelude::*;
 use dispersal_mech::catalog::standard_catalog;
 use dispersal_mech::report::to_csv;
 use dispersal_sim::prelude::*;
+use std::process::ExitCode;
 
-fn main() -> Result<()> {
+fn main() -> ExitCode {
+    experiment_main("exp_mc_validation", run)
+}
+
+fn run(ctx: &mut RunContext) -> Result<()> {
     let f = ValueProfile::new(vec![1.0, 0.6, 0.35, 0.15])?;
     let k = 4usize;
     let p = Strategy::new(vec![0.4, 0.3, 0.2, 0.1])?;
-    let config = McConfig { trials: 1_000_000, seed: 99, shards: 64 };
+    let config = McConfig { trials: ctx.trials_or(1_000_000), seed: ctx.seed_or(99), shards: 64 };
     let mut rows: Vec<Vec<f64>> = Vec::new();
-    println!("MC: 1e6 one-shot plays per policy, k = {k}");
+    println!("MC: {} one-shot plays per policy, k = {k}", config.trials);
     for named in standard_catalog() {
         let report = estimate_symmetric(&f, named.policy.as_ref(), &p, k, config)?;
         let analytic_cov = coverage(&f, &p, k)?;
@@ -57,7 +62,7 @@ fn main() -> Result<()> {
         ],
         &rows,
     );
-    let path = write_result("mc_validation.csv", &csv)?;
+    let path = ctx.write_result("mc_validation.csv", &csv)?;
     println!("MC: wrote {} (all estimates inside 95% CIs)", path.display());
     Ok(())
 }

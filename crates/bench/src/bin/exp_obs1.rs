@@ -5,11 +5,16 @@
 //! `Cover(p⋆) / Σ_{x ≤ k} f(x)` against the bound `1 − 1/e ≈ 0.6321`.
 //! Output: `results/obs1.csv` + Markdown table on stdout.
 
-use dispersal_bench::write_result;
+use dispersal_bench::runner::{experiment_main, RunContext};
 use dispersal_core::prelude::*;
 use dispersal_mech::report::{markdown_table, to_csv};
+use std::process::ExitCode;
 
-fn main() -> Result<()> {
+fn main() -> ExitCode {
+    experiment_main("exp_obs1", run)
+}
+
+fn run(ctx: &mut RunContext) -> Result<()> {
     let bound = 1.0 - (-1.0f64).exp();
     type FamilyFn = Box<dyn Fn(usize) -> Result<ValueProfile>>;
     let families: Vec<(String, FamilyFn)> = vec![
@@ -53,7 +58,7 @@ fn main() -> Result<()> {
         }
     }
     let csv = to_csv(&["m", "k", "coverage_over_topk", "bound"], &rows);
-    let path = write_result("obs1.csv", &csv)?;
+    let path = ctx.write_result("obs1.csv", &csv)?;
     println!(
         "{}",
         markdown_table(

@@ -5,15 +5,20 @@
 //!
 //! Output: `results/pure.csv`.
 
-use dispersal_bench::write_result;
+use dispersal_bench::runner::{experiment_main, RunContext};
 use dispersal_core::prelude::*;
 use dispersal_core::pure::{best_response_dynamics, enumerate_pure_equilibria, PureProfile};
 use dispersal_mech::report::to_csv;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::process::ExitCode;
 
-fn main() -> Result<()> {
+fn main() -> ExitCode {
+    experiment_main("exp_pure", run)
+}
+
+fn run(ctx: &mut RunContext) -> Result<()> {
     let f = ValueProfile::new(vec![1.0, 0.9, 0.8, 0.7, 0.6])?;
     let mut rows: Vec<Vec<f64>> = Vec::new();
     println!("PURE: pure equilibria of the exclusive policy on M = 5 near-uniform sites");
@@ -43,7 +48,7 @@ fn main() -> Result<()> {
     // The coordination problem: random-start best-response dynamics lands
     // on many different equilibria.
     let k = 4usize;
-    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed_or(31));
     let mut reached = std::collections::HashMap::<Vec<usize>, usize>::new();
     for _ in 0..200 {
         let start = PureProfile::new((0..k).map(|_| rng.gen_range(0..f.len())).collect(), f.len())?;
@@ -62,7 +67,7 @@ fn main() -> Result<()> {
         &["k", "pure_ne_count", "profiles", "worst_coverage", "best_coverage", "best_symmetric"],
         &rows,
     );
-    let path = write_result("pure.csv", &csv)?;
+    let path = ctx.write_result("pure.csv", &csv)?;
     println!("PURE: wrote {}", path.display());
     Ok(())
 }

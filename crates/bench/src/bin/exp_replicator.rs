@@ -5,13 +5,18 @@
 //! an interior start and reports the distance to the analytically solved
 //! IFD. Output: `results/replicator.csv`.
 
-use dispersal_bench::write_result;
+use dispersal_bench::runner::{experiment_main, RunContext};
 use dispersal_core::prelude::*;
 use dispersal_mech::catalog::standard_catalog;
 use dispersal_mech::report::to_csv;
 use dispersal_sim::prelude::*;
+use std::process::ExitCode;
 
-fn main() -> Result<()> {
+fn main() -> ExitCode {
+    experiment_main("exp_replicator", run)
+}
+
+fn run(ctx: &mut RunContext) -> Result<()> {
     let instances: Vec<(String, ValueProfile, usize)> = vec![
         ("fig1-left k=2".into(), ValueProfile::new(vec![1.0, 0.3])?, 2),
         ("4 sites k=4".into(), ValueProfile::new(vec![1.0, 0.6, 0.3, 0.1])?, 4),
@@ -69,7 +74,7 @@ fn main() -> Result<()> {
         }
     }
     let csv = to_csv(&["k", "replicator_tv", "logit_tv", "fictitious_tv"], &rows);
-    let path = write_result("replicator.csv", &csv)?;
+    let path = ctx.write_result("replicator.csv", &csv)?;
     println!("DYN: wrote {} (all dynamics land on the IFD)", path.display());
     Ok(())
 }

@@ -6,14 +6,19 @@
 //!
 //! Output: `results/robustness.csv`.
 
-use dispersal_bench::write_result;
+use dispersal_bench::runner::{experiment_main, RunContext};
 use dispersal_core::prelude::*;
 use dispersal_mech::report::to_csv;
 use dispersal_mech::robustness::{k_misspecification_curve, value_noise_robustness};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::process::ExitCode;
 
-fn main() -> Result<()> {
+fn main() -> ExitCode {
+    experiment_main("exp_robustness", run)
+}
+
+fn run(ctx: &mut RunContext) -> Result<()> {
     let f = ValueProfile::zipf(12, 1.0, 0.8)?;
     let k_design = 4usize;
     println!("ROB-A: rewards designed for k = {k_design}, deployed at other k (sharing policy)");
@@ -38,7 +43,7 @@ fn main() -> Result<()> {
 
     println!("\nROB-B: exclusive-policy efficiency under misperceived site values");
     let mut noise_rows: Vec<Vec<f64>> = Vec::new();
-    let mut rng = ChaCha8Rng::seed_from_u64(55);
+    let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed_or(55));
     for &noise in &[0.0, 0.05, 0.1, 0.2, 0.4] {
         let r = value_noise_robustness(&f, k_design, noise, 200, &mut rng)?;
         println!(
@@ -59,7 +64,7 @@ fn main() -> Result<()> {
     let mut csv = to_csv(&["k_actual", "optimal", "kleinberg_oren", "exclusive"], &rows);
     csv.push('\n');
     csv.push_str(&to_csv(&["noise", "mean_efficiency", "worst_efficiency"], &noise_rows));
-    let path = write_result("robustness.csv", &csv)?;
+    let path = ctx.write_result("robustness.csv", &csv)?;
     println!("\nROB: wrote {}", path.display());
     Ok(())
 }

@@ -12,14 +12,19 @@
 //! `t`) gets no parallel speedup, so it wins at `k = 1`–2 on sorted priors
 //! but is overtaken as `k` grows. Output: `results/search.csv`.
 
-use dispersal_bench::write_result;
+use dispersal_bench::runner::{experiment_main, RunContext};
 use dispersal_core::prelude::*;
 use dispersal_mech::report::to_csv;
 use dispersal_search::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::process::ExitCode;
 
-fn main() -> Result<()> {
+fn main() -> ExitCode {
+    experiment_main("exp_search", run)
+}
+
+fn run(ctx: &mut RunContext) -> Result<()> {
     // Round-1 identity.
     let prior = Prior::zipf(30, 1.0)?;
     let k = 4usize;
@@ -54,12 +59,12 @@ fn main() -> Result<()> {
             let mut sweep = SweepPlan::new(m);
             let s = evaluate_plan(&mut sweep, prior, k, horizon)?;
             let mut astar_mem = IteratedSigmaStar::new(prior, k)?;
-            let mut rng = ChaCha8Rng::seed_from_u64(17);
+            let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed_or(17));
             let mem = simulate_detection_time_with_memory(
                 &mut astar_mem,
                 prior,
                 k,
-                40_000,
+                ctx.trials_or(40_000),
                 horizon,
                 &mut rng,
             )?;
@@ -100,7 +105,7 @@ fn main() -> Result<()> {
         &["k", "iterated_sigma_star", "iterated_with_memory", "uniform", "proportional", "sweep"],
         &rows,
     );
-    let path = write_result("search.csv", &csv)?;
+    let path = ctx.write_result("search.csv", &csv)?;
     println!("SRCH: wrote {}", path.display());
     Ok(())
 }

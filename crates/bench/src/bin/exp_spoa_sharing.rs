@@ -7,13 +7,18 @@
 //! sharing equilibrium recovers optimal coverage (at the cost of knowing
 //! `k`). Output: `results/spoa_sharing.csv`.
 
-use dispersal_bench::write_result;
+use dispersal_bench::runner::{experiment_main, RunContext};
 use dispersal_core::prelude::*;
 use dispersal_mech::adversarial::{adversarial_spoa, AdversarialConfig};
 use dispersal_mech::kleinberg_oren::{design_rewards, verify_design};
 use dispersal_mech::report::to_csv;
+use std::process::ExitCode;
 
-fn main() -> Result<()> {
+fn main() -> ExitCode {
+    experiment_main("exp_spoa_sharing", run)
+}
+
+fn run(ctx: &mut RunContext) -> Result<()> {
     let mut rows: Vec<Vec<f64>> = Vec::new();
     println!("KO2: adversarial SPoA of the sharing policy (bound: 2)");
     for &k in &[2usize, 3, 5, 8] {
@@ -25,7 +30,7 @@ fn main() -> Result<()> {
                 random_starts: 6,
                 iterations: 250,
                 step: 0.2,
-                seed: 1234,
+                seed: ctx.seed_or(1234),
             },
         )?;
         println!(
@@ -52,7 +57,7 @@ fn main() -> Result<()> {
     );
     assert!(err < 1e-7);
     let csv = to_csv(&["k", "max_spoa_found", "vetta_bound"], &rows);
-    let path = write_result("spoa_sharing.csv", &csv)?;
+    let path = ctx.write_result("spoa_sharing.csv", &csv)?;
     println!("KO2: wrote {}", path.display());
     Ok(())
 }

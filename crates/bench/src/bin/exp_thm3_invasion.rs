@@ -9,14 +9,19 @@
 //!
 //! Output: `results/thm3.csv` + summary.
 
-use dispersal_bench::write_result;
+use dispersal_bench::runner::{experiment_main, RunContext};
 use dispersal_core::prelude::*;
 use dispersal_mech::report::to_csv;
 use dispersal_sim::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::process::ExitCode;
 
-fn main() -> Result<()> {
+fn main() -> ExitCode {
+    experiment_main("exp_thm3_invasion", run)
+}
+
+fn run(ctx: &mut RunContext) -> Result<()> {
     let instances: Vec<(String, ValueProfile, usize)> = vec![
         ("fig1-left k=2".into(), ValueProfile::new(vec![1.0, 0.3])?, 2),
         ("fig1-right k=2".into(), ValueProfile::new(vec![1.0, 0.5])?, 2),
@@ -33,9 +38,9 @@ fn main() -> Result<()> {
         assert!(report.passed(), "{name}: mutants invaded: {:?}", report.invasions);
 
         // Invasion barrier against the uniform mutant.
-        let ctx = PayoffContext::new(&Exclusive, *k)?;
+        let payoff_ctx = PayoffContext::new(&Exclusive, *k)?;
         let mutant = Strategy::uniform(f.len())?;
-        let barrier = invasion_barrier(&ctx, f, &star.strategy, &mutant, 200)?;
+        let barrier = invasion_barrier(&payoff_ctx, f, &star.strategy, &mutant, 200)?;
 
         // Finite-sample invasion: epsilon = 0.1 mutants.
         let inv = run_invasion(
@@ -44,7 +49,12 @@ fn main() -> Result<()> {
             &star.strategy,
             &mutant,
             *k,
-            InvasionConfig { epsilon: 0.1, matches: 400_000, seed: 7, shards: 16 },
+            InvasionConfig {
+                epsilon: 0.1,
+                matches: ctx.trials_or(400_000),
+                seed: ctx.seed_or(7),
+                shards: 16,
+            },
         )?;
         rows.push(vec![
             *k as f64,
@@ -65,7 +75,7 @@ fn main() -> Result<()> {
         &["k", "mutants", "worst_margin", "uniform_barrier", "mc_advantage", "analytic_advantage"],
         &rows,
     );
-    let path = write_result("thm3.csv", &csv)?;
+    let path = ctx.write_result("thm3.csv", &csv)?;
     println!("THM3: wrote {} (sigma* is an ESS on every instance)", path.display());
     Ok(())
 }

@@ -7,12 +7,17 @@
 //! coverage to solver precision, and common heuristics must do strictly
 //! worse. Output: `results/thm4.csv` + summary.
 
-use dispersal_bench::write_result;
+use dispersal_bench::runner::{experiment_main, RunContext};
 use dispersal_core::optimal::optimal_coverage_gradient;
 use dispersal_core::prelude::*;
 use dispersal_mech::report::to_csv;
+use std::process::ExitCode;
 
-fn main() -> Result<()> {
+fn main() -> ExitCode {
+    experiment_main("exp_thm4_optimality", run)
+}
+
+fn run(ctx: &mut RunContext) -> Result<()> {
     let instances: Vec<(String, ValueProfile, usize)> = vec![
         ("fig1-left".into(), ValueProfile::new(vec![1.0, 0.3])?, 2),
         ("fig1-right".into(), ValueProfile::new(vec![1.0, 0.5])?, 2),
@@ -57,7 +62,7 @@ fn main() -> Result<()> {
         &["k", "cover_sigma_star", "cover_waterfill", "cover_gradient", "cover_best_heuristic"],
         &rows,
     );
-    let path = write_result("thm4.csv", &csv)?;
+    let path = ctx.write_result("thm4.csv", &csv)?;
     println!(
         "THM4: wrote {} (max optimizer gap {max_gap:.2e}; paper predicts identical optima)",
         path.display()

@@ -10,13 +10,18 @@
 //!
 //! Output: `results/thm6.csv` + Markdown table.
 
-use dispersal_bench::write_result;
+use dispersal_bench::runner::{experiment_main, RunContext};
 use dispersal_core::prelude::*;
 use dispersal_mech::adversarial::{adversarial_spoa, AdversarialConfig};
 use dispersal_mech::catalog::standard_catalog;
 use dispersal_mech::report::{markdown_table, to_csv};
+use std::process::ExitCode;
 
-fn main() -> Result<()> {
+fn main() -> ExitCode {
+    experiment_main("exp_thm6_spoa", run)
+}
+
+fn run(ctx: &mut RunContext) -> Result<()> {
     let k = 3usize;
     let witness = ValueProfile::slow_decay_witness(4 * k, k)?;
     let catalog = standard_catalog();
@@ -28,7 +33,13 @@ fn main() -> Result<()> {
         let adv = adversarial_spoa(
             named.policy.as_ref(),
             k,
-            AdversarialConfig { m: 4 * k, random_starts: 4, iterations: 120, step: 0.2, seed: 42 },
+            AdversarialConfig {
+                m: 4 * k,
+                random_starts: 4,
+                iterations: 120,
+                step: 0.2,
+                seed: ctx.seed_or(42),
+            },
         )?;
         let is_exclusive = named.policy.is_exclusive_up_to(k);
         rows.push(vec![point.ratio, adv.best_ratio, point.ifd_residual]);
@@ -68,7 +79,7 @@ fn main() -> Result<()> {
         )
     );
     let csv = to_csv(&["spoa_witness", "spoa_adversarial", "ifd_residual"], &rows);
-    let path = write_result("thm6.csv", &csv)?;
+    let path = ctx.write_result("thm6.csv", &csv)?;
     println!("THM6: wrote {}", path.display());
     println!("THM6: exclusive is the unique policy at SPoA = 1 (all assertions passed)");
     Ok(())

@@ -10,16 +10,21 @@
 //! Output: `results/fig1_left.csv`, `results/fig1_right.csv`,
 //! `results/fig1.txt` (ASCII rendering), summary on stdout.
 
-use dispersal_bench::write_result;
+use dispersal_bench::runner::{experiment_main, RunContext};
 use dispersal_core::prelude::*;
 use dispersal_mech::report::{ascii_plot, to_csv, Series};
+use std::process::ExitCode;
 
 struct Panel {
     name: &'static str,
     f2: f64,
 }
 
-fn main() -> Result<()> {
+fn main() -> ExitCode {
+    experiment_main("fig1", run)
+}
+
+fn run(ctx: &mut RunContext) -> Result<()> {
     let k = 2usize;
     let panels = [Panel { name: "left", f2: 0.3 }, Panel { name: "right", f2: 0.5 }];
     let cs: Vec<f64> = (0..=100).map(|i| -0.5 + i as f64 * 0.01).collect();
@@ -44,7 +49,7 @@ fn main() -> Result<()> {
         }
         let csv =
             to_csv(&["c", "ess_coverage", "optimum_coverage", "welfare_optimum_coverage"], &rows);
-        let path = write_result(&format!("fig1_{}.csv", panel.name), &csv)?;
+        let path = ctx.write_result(&format!("fig1_{}.csv", panel.name), &csv)?;
         println!("FIG1-{}: wrote {}", panel.name, path.display());
 
         // The paper's headline: at c = 0 (exclusive) the ESS coverage
@@ -70,7 +75,7 @@ fn main() -> Result<()> {
         ascii_all.push_str(&plot);
         ascii_all.push('\n');
     }
-    let path = write_result("fig1.txt", &ascii_all)?;
+    let path = ctx.write_result("fig1.txt", &ascii_all)?;
     println!("FIG1: ASCII panels at {}", path.display());
     print!("{ascii_all}");
     Ok(())

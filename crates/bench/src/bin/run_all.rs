@@ -3,10 +3,61 @@
 //!
 //! Equivalent to invoking each `exp_*` / `fig1` binary yourself; kept as a
 //! tiny driver (not a shell script) so it works on every platform.
+//!
+//! Flags (all optional, forwarded to every child where applicable):
+//!
+//! * `--trials N`  — shrink/grow each child's Monte-Carlo trial budget
+//!   (useful for CI smoke runs);
+//! * `--seed N`    — override each child's master seed;
+//! * `--jobs N`    — worker threads per child (sets `RAYON_NUM_THREADS`);
+//! * `--out-dir D` — results directory (sets `DISPERSAL_RESULTS_DIR`,
+//!   which every child honors).
+//!
+//! Prints per-experiment wall time and exits non-zero if **any** child
+//! fails to launch or exits unsuccessfully.
 
+use dispersal_bench::runner::parse_flags;
 use std::process::{Command, ExitCode};
+use std::time::Instant;
+
+const FLAG_SPEC: &[(&str, &str)] =
+    &[("--trials", "trials"), ("--seed", "seed"), ("--jobs", "jobs"), ("--out-dir", "out-dir")];
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: run_all [--trials N] [--seed N] [--jobs N] [--out-dir DIR]");
+        return ExitCode::SUCCESS;
+    }
+    let flags = match parse_flags(&args, FLAG_SPEC) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("run_all: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // --jobs and --out-dir become environment for the children (every
+    // binary honors RAYON_NUM_THREADS / DISPERSAL_RESULTS_DIR); --trials
+    // and --seed are forwarded as flags through the shared runner.
+    if let Some(jobs) = flags.get("jobs") {
+        match jobs.parse::<usize>() {
+            Ok(n) if n >= 1 => std::env::set_var("RAYON_NUM_THREADS", jobs),
+            _ => {
+                eprintln!("run_all: --jobs must be a positive integer, got '{jobs}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(dir) = flags.get("out-dir") {
+        std::env::set_var("DISPERSAL_RESULTS_DIR", dir);
+    }
+    let mut forwarded: Vec<String> = Vec::new();
+    for key in ["trials", "seed"] {
+        if let Some(value) = flags.get(key) {
+            forwarded.push(format!("--{key}"));
+            forwarded.push(value.clone());
+        }
+    }
     let experiments = [
         "fig1",
         "exp_obs1",
@@ -32,15 +83,20 @@ fn main() -> ExitCode {
         eprintln!("run_all: executable path {} has no parent directory", exe.display());
         return ExitCode::FAILURE;
     };
+    let total = Instant::now();
     let mut failures = Vec::new();
     for name in experiments {
         println!("================ {name} ================");
         let path = bin_dir.join(name);
-        let status = Command::new(&path).status();
+        let started = Instant::now();
+        let status = Command::new(&path).args(&forwarded).status();
+        let wall = started.elapsed();
         match status {
-            Ok(s) if s.success() => {}
+            Ok(s) if s.success() => {
+                println!("---------------- {name}: ok in {:.2}s", wall.as_secs_f64());
+            }
             Ok(s) => {
-                eprintln!("{name}: exited with {s}");
+                eprintln!("{name}: exited with {s} after {:.2}s", wall.as_secs_f64());
                 failures.push(name);
             }
             Err(e) => {
@@ -50,10 +106,14 @@ fn main() -> ExitCode {
         }
     }
     if failures.is_empty() {
-        println!("All experiments completed; results under results/.");
+        println!(
+            "All {} experiments completed in {:.2}s; results under results/.",
+            experiments.len(),
+            total.elapsed().as_secs_f64()
+        );
         ExitCode::SUCCESS
     } else {
-        eprintln!("Failed experiments: {failures:?}");
+        eprintln!("{} of {} experiments failed: {failures:?}", failures.len(), experiments.len());
         ExitCode::FAILURE
     }
 }

@@ -2,7 +2,11 @@
 //!
 //! Every binary regenerates one experiment from EXPERIMENTS.md, writing CSV
 //! (and ASCII plots) under `results/` at the workspace root and echoing a
-//! summary to stdout.
+//! summary to stdout. The [`runner`] module is the shared driver: common
+//! flag parsing (`--trials/--seed/--jobs/--out-dir`), wall-clock
+//! reporting, and per-run JSON manifests.
+
+pub mod runner;
 
 use std::path::PathBuf;
 

@@ -1,0 +1,238 @@
+//! Shared driver for the experiment binaries.
+//!
+//! Every `exp_*` / `fig1` binary used to carry its own copy of the same
+//! boilerplate: ad-hoc argv handling, `results/` plumbing, and no timing
+//! or provenance. [`experiment_main`] centralizes that: it parses the
+//! common flags, configures the thread pool and output directory, times
+//! the run, and emits a JSON run-manifest next to the CSVs so every
+//! results file can be traced back to the exact `(trials, seed, jobs)`
+//! that produced it.
+//!
+//! Common flags (all optional; each binary keeps its own defaults):
+//!
+//! * `--trials N`  — override the binary's Monte-Carlo trial budget
+//!   (deterministic experiments ignore it);
+//! * `--seed N`    — override the master seed of the stochastic parts;
+//! * `--jobs N`    — worker-thread count (sets `RAYON_NUM_THREADS`);
+//! * `--out-dir D` — results directory (sets `DISPERSAL_RESULTS_DIR`).
+
+use dispersal_core::{Error, Result};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Parse `args` against `spec`, a table of `(accepted flag, canonical
+/// key)` pairs; every flag takes exactly one value. Shared by the
+/// experiment runner and the `dispersal` CLI so all binaries reject
+/// unknown flags the same way.
+pub fn parse_flags(args: &[String], spec: &[(&str, &str)]) -> Result<HashMap<String, String>> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(&(_, key)) = spec.iter().find(|(flag, _)| *flag == args[i]) else {
+            return Err(Error::InvalidArgument(format!("unknown flag: {}", args[i])));
+        };
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| Error::InvalidArgument(format!("flag {} needs a value", args[i])))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn parse_value<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+) -> Result<Option<T>>
+where
+    T::Err: std::fmt::Display,
+{
+    flags
+        .get(key)
+        .map(|raw| {
+            raw.parse::<T>()
+                .map_err(|e| Error::InvalidArgument(format!("bad --{key} value '{raw}': {e}")))
+        })
+        .transpose()
+}
+
+/// Per-run context handed to an experiment body: the resolved common
+/// flags plus the output recorder feeding the run manifest.
+pub struct RunContext {
+    name: &'static str,
+    trials: Option<u64>,
+    seed: Option<u64>,
+    jobs: Option<usize>,
+    outputs: Vec<String>,
+}
+
+impl RunContext {
+    /// The experiment's Monte-Carlo trial budget: the `--trials` override
+    /// or the binary's `default`.
+    pub fn trials_or(&self, default: u64) -> u64 {
+        self.trials.unwrap_or(default)
+    }
+
+    /// The master seed: the `--seed` override or the binary's `default`.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Worker threads the run is using (after `--jobs` is applied).
+    pub fn effective_jobs(&self) -> usize {
+        rayon::current_num_threads()
+    }
+
+    /// Write `contents` to `results/<file>` and record it in the run
+    /// manifest. Returns the full path written.
+    pub fn write_result(&mut self, file: &str, contents: &str) -> std::io::Result<PathBuf> {
+        let path = crate::write_result(file, contents)?;
+        self.outputs.push(file.to_string());
+        Ok(path)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn manifest_json(ctx: &RunContext, wall: Duration) -> String {
+    let opt = |v: Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
+    let outputs: Vec<String> =
+        ctx.outputs.iter().map(|o| format!("\"{}\"", json_escape(o))).collect();
+    format!(
+        "{{\n  \"experiment\": \"{}\",\n  \"trials\": {},\n  \"seed\": {},\n  \"jobs\": {},\n  \
+         \"wall_ms\": {},\n  \"outputs\": [{}]\n}}\n",
+        json_escape(ctx.name),
+        opt(ctx.trials),
+        opt(ctx.seed),
+        ctx.jobs.map_or_else(|| ctx.effective_jobs().to_string(), |j| j.to_string()),
+        wall.as_millis(),
+        outputs.join(", ")
+    )
+}
+
+/// Run one experiment under the shared driver: parse the common flags,
+/// apply `--jobs`/`--out-dir`, execute `run`, report wall-clock time, and
+/// emit `results/<name>.manifest.json` describing the run.
+pub fn experiment_main(
+    name: &'static str,
+    run: impl FnOnce(&mut RunContext) -> Result<()>,
+) -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: {name} [--trials N] [--seed N] [--jobs N] [--out-dir DIR]");
+        return ExitCode::SUCCESS;
+    }
+    match drive(name, &args, run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{name}: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn drive(
+    name: &'static str,
+    args: &[String],
+    run: impl FnOnce(&mut RunContext) -> Result<()>,
+) -> Result<()> {
+    const SPEC: &[(&str, &str)] =
+        &[("--trials", "trials"), ("--seed", "seed"), ("--jobs", "jobs"), ("--out-dir", "out-dir")];
+    let flags = parse_flags(args, SPEC)?;
+    let jobs: Option<usize> = parse_value(&flags, "jobs")?;
+    if let Some(jobs) = jobs {
+        if jobs == 0 {
+            return Err(Error::InvalidArgument("--jobs must be at least 1".into()));
+        }
+        // Safe env mutation: we are single-threaded here, before any pool
+        // worker exists to call getenv concurrently.
+        std::env::set_var("RAYON_NUM_THREADS", jobs.to_string());
+    }
+    if let Some(dir) = flags.get("out-dir") {
+        std::env::set_var("DISPERSAL_RESULTS_DIR", dir);
+    }
+    let mut ctx = RunContext {
+        name,
+        trials: parse_value(&flags, "trials")?,
+        seed: parse_value(&flags, "seed")?,
+        jobs,
+        outputs: Vec::new(),
+    };
+    let started = Instant::now();
+    run(&mut ctx)?;
+    let wall = started.elapsed();
+    let manifest = manifest_json(&ctx, wall);
+    crate::write_result(&format!("{name}.manifest.json"), &manifest)
+        .map_err(dispersal_core::Error::from)?;
+    println!(
+        "{name}: completed in {:.2}s on {} thread(s); {} result file(s) + manifest",
+        wall.as_secs_f64(),
+        ctx.effective_jobs(),
+        ctx.outputs.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_accepts_spec_and_rejects_strangers() {
+        let spec = &[("--trials", "trials"), ("--seed", "seed")];
+        let flags = parse_flags(&argv(&["--trials", "100", "--seed", "7"]), spec).unwrap();
+        assert_eq!(flags.get("trials").map(String::as_str), Some("100"));
+        assert_eq!(flags.get("seed").map(String::as_str), Some("7"));
+        assert!(parse_flags(&argv(&["--bogus", "1"]), spec).is_err());
+        assert!(parse_flags(&argv(&["--trials"]), spec).is_err());
+    }
+
+    #[test]
+    fn context_defaults_and_overrides() {
+        let ctx =
+            RunContext { name: "t", trials: Some(5), seed: None, jobs: None, outputs: Vec::new() };
+        assert_eq!(ctx.trials_or(100), 5);
+        assert_eq!(ctx.seed_or(42), 42);
+    }
+
+    #[test]
+    fn manifest_shape() {
+        let ctx = RunContext {
+            name: "exp_x",
+            trials: Some(10),
+            seed: None,
+            jobs: Some(3),
+            outputs: vec!["a.csv".into(), "b.csv".into()],
+        };
+        let json = manifest_json(&ctx, Duration::from_millis(1234));
+        assert!(json.contains("\"experiment\": \"exp_x\""));
+        assert!(json.contains("\"trials\": 10"));
+        assert!(json.contains("\"seed\": null"));
+        assert!(json.contains("\"jobs\": 3"));
+        assert!(json.contains("\"wall_ms\": 1234"));
+        assert!(json.contains("\"a.csv\", \"b.csv\""));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

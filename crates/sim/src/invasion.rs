@@ -6,7 +6,7 @@
 //! residents and mutants. Theorem 3 predicts residents strictly out-earn
 //! mutants for small `ε` when `σ = σ⋆` under the exclusive policy.
 
-use crate::rng::Seed;
+use crate::engine::{self, Experiment, ShardPlan};
 use crate::stats::{Estimate, Welford};
 use dispersal_core::payoff::PayoffContext;
 use dispersal_core::policy::Congestion;
@@ -14,7 +14,7 @@ use dispersal_core::strategy::{Strategy, StrategySampler};
 use dispersal_core::value::ValueProfile;
 use dispersal_core::{Error, Result};
 use rand::Rng;
-use rayon::prelude::*;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for an invasion experiment.
@@ -57,6 +57,56 @@ impl InvasionReport {
     }
 }
 
+/// One sampled match as an engine [`Experiment`]: per-shard state is the
+/// occupancy/choice scratch; each trial draws a `k`-tuple from the
+/// resident/mutant mixture and records both sides' payoffs.
+struct InvasionMc<'a> {
+    f: &'a ValueProfile,
+    res_sampler: StrategySampler,
+    mut_sampler: StrategySampler,
+    c_table: Vec<f64>,
+    epsilon: f64,
+    k: usize,
+}
+
+/// Reusable per-shard scratch buffers for [`InvasionMc`].
+struct MatchScratch {
+    occupancy: Vec<usize>,
+    choices: Vec<(usize, bool)>,
+}
+
+impl Experiment for InvasionMc<'_> {
+    type State = MatchScratch;
+    type Output = (Welford, Welford);
+
+    fn make_state(&self) -> Result<MatchScratch> {
+        Ok(MatchScratch {
+            occupancy: vec![0usize; self.f.len()],
+            choices: vec![(0usize, false); self.k],
+        })
+    }
+
+    fn trial(&self, scratch: &mut MatchScratch, rng: &mut ChaCha8Rng, acc: &mut Self::Output) {
+        let (res_acc, mut_acc) = acc;
+        scratch.occupancy.iter_mut().for_each(|o| *o = 0);
+        for slot in scratch.choices.iter_mut() {
+            let is_mutant = rng.gen::<f64>() < self.epsilon;
+            let site =
+                if is_mutant { self.mut_sampler.sample(rng) } else { self.res_sampler.sample(rng) };
+            scratch.occupancy[site] += 1;
+            *slot = (site, is_mutant);
+        }
+        for &(site, is_mutant) in &scratch.choices {
+            let payoff = self.f.value(site) * self.c_table[scratch.occupancy[site] - 1];
+            if is_mutant {
+                mut_acc.push(payoff);
+            } else {
+                res_acc.push(payoff);
+            }
+        }
+    }
+}
+
 /// Run the invasion experiment.
 pub fn run_invasion(
     c: &dyn Congestion,
@@ -83,53 +133,16 @@ pub fn run_invasion(
     // the mixture-field payoff for i.i.d. opponents).
     let analytic_advantage = ctx.mixture_payoff(f, resident, resident, mutant, config.epsilon)?
         - ctx.mixture_payoff(f, mutant, resident, mutant, config.epsilon)?;
-    let res_sampler = StrategySampler::new(resident);
-    let mut_sampler = StrategySampler::new(mutant);
-    let c_table = ctx.c_table().to_vec();
-    let shards = config.shards.max(1);
-    let per_shard = config.matches / shards;
-    let remainder = config.matches % shards;
-    let seed = Seed(config.seed);
-    let m = f.len();
-    let acc: Vec<(Welford, Welford)> = (0..shards)
-        .into_par_iter()
-        .map(|shard| {
-            let mut rng = seed.stream(shard + 1);
-            let n = per_shard + if shard < remainder { 1 } else { 0 };
-            let mut res_acc = Welford::new();
-            let mut mut_acc = Welford::new();
-            let mut occupancy = vec![0usize; m];
-            let mut choices = vec![(0usize, false); k];
-            for _ in 0..n {
-                occupancy.iter_mut().for_each(|o| *o = 0);
-                for slot in choices.iter_mut() {
-                    let is_mutant = rng.gen::<f64>() < config.epsilon;
-                    let site = if is_mutant {
-                        mut_sampler.sample(&mut rng)
-                    } else {
-                        res_sampler.sample(&mut rng)
-                    };
-                    occupancy[site] += 1;
-                    *slot = (site, is_mutant);
-                }
-                for &(site, is_mutant) in &choices {
-                    let payoff = f.value(site) * c_table[occupancy[site] - 1];
-                    if is_mutant {
-                        mut_acc.push(payoff);
-                    } else {
-                        res_acc.push(payoff);
-                    }
-                }
-            }
-            (res_acc, mut_acc)
-        })
-        .collect();
-    let mut res_total = Welford::new();
-    let mut mut_total = Welford::new();
-    for (r, mu) in &acc {
-        res_total.merge(r);
-        mut_total.merge(mu);
-    }
+    let experiment = InvasionMc {
+        f,
+        res_sampler: StrategySampler::new(resident),
+        mut_sampler: StrategySampler::new(mutant),
+        c_table: ctx.c_table().to_vec(),
+        epsilon: config.epsilon,
+        k,
+    };
+    let plan = ShardPlan::new(config.matches, config.shards, config.seed);
+    let (res_total, mut_total) = engine::run(&experiment, plan)?;
     let resident_payoff = Estimate::from_welford(&res_total);
     let mutant_payoff = Estimate::from_welford(&mut_total);
     Ok(InvasionReport {

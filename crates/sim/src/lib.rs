@@ -5,9 +5,12 @@
 //! machinery of [`dispersal_core`] and probes its evolutionary claims
 //! empirically.
 //!
+//! * [`engine`] — the unified parallel execution engine: seed-sharding
+//!   plans, the [`Experiment`](engine::Experiment) trait, and mergeable
+//!   accumulators shared by every stochastic workload.
 //! * [`oneshot`] — a single play of the game: sampling, collisions,
 //!   payoffs, realized coverage.
-//! * [`montecarlo`] — parallel (Rayon) estimation of expected coverage and
+//! * [`montecarlo`] — parallel estimation of expected coverage and
 //!   payoffs with deterministic per-shard RNG streams.
 //! * [`replicator`] — replicator ODE for the k-player field game; its rest
 //!   points are the IFD, and trajectories converge to σ⋆ under the
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod dynamics;
+pub mod engine;
 pub mod invasion;
 pub mod montecarlo;
 pub mod moran;
@@ -34,13 +38,16 @@ pub mod sweep;
 /// Common imports for simulation workflows.
 pub mod prelude {
     pub use crate::dynamics::{run_fictitious_play, run_logit, DynamicsConfig, DynamicsRun};
+    pub use crate::engine::{self, Count, Experiment, Merge, ShardPlan, Sum};
     pub use crate::invasion::{invasion_sweep, run_invasion, InvasionConfig, InvasionReport};
     pub use crate::montecarlo::{
         estimate_profile_coverage, estimate_symmetric, McConfig, McReport,
     };
     pub use crate::moran::{run_moran, MoranConfig, MoranRun};
     pub use crate::oneshot::{OneShotGame, Outcome};
-    pub use crate::replicator::{run_replicator, ReplicatorConfig, ReplicatorRun};
+    pub use crate::replicator::{
+        run_replicator, run_replicator_ensemble, ReplicatorConfig, ReplicatorRun,
+    };
     pub use crate::rng::Seed;
     pub use crate::stats::{bootstrap_mean_ci, Estimate, Welford};
     pub use crate::sweep::{sweep_grid, SweepCell};

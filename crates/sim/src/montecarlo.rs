@@ -1,17 +1,19 @@
 //! Parallel Monte-Carlo estimation over one-shot plays.
 //!
-//! Trials are sharded across Rayon workers; each shard derives its own
-//! deterministic RNG stream from the master [`Seed`], so results are
-//! bit-reproducible regardless of thread count or scheduling.
+//! Runs on the shared [`engine`](crate::engine): trials are sharded by a
+//! [`ShardPlan`], each shard derives its own deterministic RNG stream from
+//! the master seed, and per-shard [`Welford`] accumulators merge in shard
+//! order — so results are bit-reproducible regardless of thread count or
+//! scheduling.
 
+use crate::engine::{self, Experiment, ShardPlan};
 use crate::oneshot::OneShotGame;
-use crate::rng::Seed;
 use crate::stats::{Estimate, Welford};
 use dispersal_core::policy::Congestion;
 use dispersal_core::strategy::Strategy;
 use dispersal_core::value::ValueProfile;
 use dispersal_core::Result;
-use rayon::prelude::*;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Monte-Carlo estimates of the key observables of the dispersal game.
@@ -44,6 +46,59 @@ impl Default for McConfig {
     }
 }
 
+impl McConfig {
+    /// The engine sharding plan this configuration describes.
+    pub fn plan(&self) -> ShardPlan {
+        ShardPlan::new(self.trials, self.shards, self.seed)
+    }
+}
+
+/// Symmetric one-shot estimation as an engine [`Experiment`]: per-shard
+/// state is a reusable [`OneShotGame`]; each trial folds one play's
+/// coverage and player-0 payoff into a pair of [`Welford`] accumulators.
+struct SymmetricMc<'a> {
+    f: &'a ValueProfile,
+    c: &'a dyn Congestion,
+    strategy: &'a Strategy,
+    k: usize,
+}
+
+impl<'a> Experiment for SymmetricMc<'a> {
+    type State = OneShotGame<'a>;
+    type Output = (Welford, Welford);
+
+    fn make_state(&self) -> Result<OneShotGame<'a>> {
+        OneShotGame::symmetric(self.f, self.c, self.strategy, self.k)
+    }
+
+    fn trial(&self, game: &mut OneShotGame<'a>, rng: &mut ChaCha8Rng, acc: &mut Self::Output) {
+        let (c_val, p_val) = game.play_coverage(rng);
+        acc.0.push(c_val);
+        acc.1.push(p_val);
+    }
+}
+
+/// Asymmetric coverage estimation as an engine [`Experiment`].
+struct ProfileMc<'a> {
+    f: &'a ValueProfile,
+    c: &'a dyn Congestion,
+    profile: &'a [Strategy],
+}
+
+impl<'a> Experiment for ProfileMc<'a> {
+    type State = OneShotGame<'a>;
+    type Output = Welford;
+
+    fn make_state(&self) -> Result<OneShotGame<'a>> {
+        OneShotGame::asymmetric(self.f, self.c, self.profile)
+    }
+
+    fn trial(&self, game: &mut OneShotGame<'a>, rng: &mut ChaCha8Rng, acc: &mut Welford) {
+        let (c_val, _) = game.play_coverage(rng);
+        acc.push(c_val);
+    }
+}
+
 /// Estimate coverage and individual payoff for the symmetric profile where
 /// all `k` players play `strategy` under policy `c`, in parallel.
 pub fn estimate_symmetric(
@@ -53,35 +108,7 @@ pub fn estimate_symmetric(
     k: usize,
     config: McConfig,
 ) -> Result<McReport> {
-    // Validate once up front so shards cannot fail.
-    OneShotGame::symmetric(f, c, strategy, k)?;
-    let shards = config.shards.max(1);
-    let per_shard = config.trials / shards;
-    let remainder = config.trials % shards;
-    let seed = Seed(config.seed);
-    let results: Vec<(Welford, Welford)> = (0..shards)
-        .into_par_iter()
-        .map(|shard| {
-            let mut rng = seed.stream(shard + 1);
-            let mut game =
-                OneShotGame::symmetric(f, c, strategy, k).expect("validated before sharding");
-            let n = per_shard + if shard < remainder { 1 } else { 0 };
-            let mut cov = Welford::new();
-            let mut pay = Welford::new();
-            for _ in 0..n {
-                let (c_val, p_val) = game.play_coverage(&mut rng);
-                cov.push(c_val);
-                pay.push(p_val);
-            }
-            (cov, pay)
-        })
-        .collect();
-    let mut cov = Welford::new();
-    let mut pay = Welford::new();
-    for (c_acc, p_acc) in &results {
-        cov.merge(c_acc);
-        pay.merge(p_acc);
-    }
+    let (cov, pay) = engine::run(&SymmetricMc { f, c, strategy, k }, config.plan())?;
     Ok(McReport {
         coverage: Estimate::from_welford(&cov),
         payoff: Estimate::from_welford(&pay),
@@ -97,30 +124,7 @@ pub fn estimate_profile_coverage(
     profile: &[Strategy],
     config: McConfig,
 ) -> Result<Estimate> {
-    OneShotGame::asymmetric(f, c, profile)?;
-    let shards = config.shards.max(1);
-    let per_shard = config.trials / shards;
-    let remainder = config.trials % shards;
-    let seed = Seed(config.seed);
-    let results: Vec<Welford> = (0..shards)
-        .into_par_iter()
-        .map(|shard| {
-            let mut rng = seed.stream(shard + 1);
-            let mut game =
-                OneShotGame::asymmetric(f, c, profile).expect("validated before sharding");
-            let n = per_shard + if shard < remainder { 1 } else { 0 };
-            let mut cov = Welford::new();
-            for _ in 0..n {
-                let (c_val, _) = game.play_coverage(&mut rng);
-                cov.push(c_val);
-            }
-            cov
-        })
-        .collect();
-    let mut cov = Welford::new();
-    for acc in &results {
-        cov.merge(acc);
-    }
+    let cov = engine::run(&ProfileMc { f, c, profile }, config.plan())?;
     Ok(Estimate::from_welford(&cov))
 }
 

@@ -11,11 +11,13 @@
 //! exclusive policy. Integration is classical RK4 with a simplex
 //! re-projection guard each step.
 
+use crate::engine;
 use dispersal_core::payoff::PayoffContext;
 use dispersal_core::policy::Congestion;
 use dispersal_core::strategy::Strategy;
 use dispersal_core::value::ValueProfile;
 use dispersal_core::{Error, Result};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a replicator-dynamics run.
@@ -134,6 +136,32 @@ pub fn run_replicator(
     Ok(ReplicatorRun { state: Strategy::new(x)?, steps, final_velocity, converged, trajectory })
 }
 
+/// Integrate the replicator dynamics from `count` random interior starts
+/// in parallel — the basin-coverage companion to [`run_replicator`].
+///
+/// Start `i` is drawn from the deterministic engine stream `i + 1` of
+/// `seed` (see [`engine::par_map_seeded`]), so the ensemble is
+/// bit-reproducible at any thread count. Runs are returned in start order.
+pub fn run_replicator_ensemble(
+    c: &dyn Congestion,
+    f: &ValueProfile,
+    k: usize,
+    count: usize,
+    seed: u64,
+    config: ReplicatorConfig,
+) -> Result<Vec<ReplicatorRun>> {
+    if count == 0 {
+        return Err(Error::InvalidArgument("ensemble needs at least one start".into()));
+    }
+    engine::par_map_seeded((0..count).collect(), seed, |_: usize, rng| {
+        // Interior start: bounded away from the boundary so every site
+        // participates in the flow.
+        let weights: Vec<f64> = (0..f.len()).map(|_| 0.05 + rng.gen::<f64>()).collect();
+        let start = Strategy::from_weights(weights)?;
+        run_replicator(c, f, &start, k, config)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +274,30 @@ mod tests {
         let s2 = Strategy::uniform(2).unwrap();
         let bad = ReplicatorConfig { dt: 0.0, ..Default::default() };
         assert!(run_replicator(&Sharing, &f, &s2, 2, bad).is_err());
+        assert!(
+            run_replicator_ensemble(&Sharing, &f, 2, 0, 1, ReplicatorConfig::default()).is_err()
+        );
+    }
+
+    #[test]
+    fn ensemble_converges_from_every_start_and_is_deterministic() {
+        let f = ValueProfile::new(vec![1.0, 0.5, 0.25]).unwrap();
+        let k = 3;
+        let config = ReplicatorConfig { velocity_tol: 1e-10, ..Default::default() };
+        let runs = run_replicator_ensemble(&Exclusive, &f, k, 8, 42, config).unwrap();
+        assert_eq!(runs.len(), 8);
+        let star = sigma_star(&f, k).unwrap().strategy;
+        for run in &runs {
+            assert!(run.converged);
+            assert!(run.state.linf_distance(&star).unwrap() < 1e-5);
+        }
+        // Same seed => bit-identical starts and endpoints.
+        let again = run_replicator_ensemble(&Exclusive, &f, k, 8, 42, config).unwrap();
+        for (a, b) in runs.iter().zip(again.iter()) {
+            assert_eq!(a.steps, b.steps);
+            for i in 0..3 {
+                assert_eq!(a.state.prob(i).to_bits(), b.state.prob(i).to_bits());
+            }
+        }
     }
 }

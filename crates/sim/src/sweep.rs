@@ -1,12 +1,12 @@
 //! Parallel parameter sweeps: evaluate a closure over a grid of
-//! `(instance, k)` cells with Rayon, preserving deterministic per-cell RNG
-//! streams. The batch engine behind grid-style experiments.
+//! `(instance, k)` cells, preserving deterministic per-cell RNG streams.
+//! A thin grid-construction layer over
+//! [`engine::par_map_seeded`](crate::engine::par_map_seeded).
 
-use crate::rng::Seed;
+use crate::engine;
 use dispersal_core::value::ValueProfile;
 use dispersal_core::{Error, Result};
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One cell of a sweep grid.
@@ -35,20 +35,12 @@ where
     if instances.is_empty() || ks.is_empty() {
         return Err(Error::InvalidArgument("sweep grid must be non-empty".into()));
     }
-    let cells: Vec<(usize, &(String, ValueProfile), usize)> = instances
-        .iter()
-        .enumerate()
-        .flat_map(|(i, inst)| ks.iter().map(move |&k| (i, inst, k)))
-        .collect();
-    cells
-        .par_iter()
-        .enumerate()
-        .map(|(cell_idx, (_, (name, f), k))| {
-            let mut rng = Seed(seed).stream(cell_idx as u64 + 1);
-            let output = eval(f, *k, &mut rng)?;
-            Ok(SweepCell { instance: name.clone(), k: *k, output })
-        })
-        .collect()
+    let cells: Vec<(&String, &ValueProfile, usize)> =
+        instances.iter().flat_map(|(name, f)| ks.iter().map(move |&k| (name, f, k))).collect();
+    engine::par_map_seeded(cells, seed, |(name, f, k), rng| {
+        let output = eval(f, k, rng)?;
+        Ok(SweepCell { instance: name.clone(), k, output })
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,99 @@
+//! Determinism regression tests for the parallel engine: every sharded
+//! workload must produce **bit-identical** output at every thread count,
+//! and the pool must actually use multiple OS threads when asked.
+//!
+//! Thread counts are swept via `rayon::set_num_threads` (an atomic,
+//! shim-only extension), NOT by mutating `RAYON_NUM_THREADS`: calling
+//! `setenv` while concurrently-running tests' pool workers call `getenv`
+//! is undefined behavior on glibc. If the vendored rayon is ever swapped
+//! back to the registry crate, this file fails to compile — by design:
+//! registry rayon pins its global pool at first use, so an in-process
+//! sweep like this one would silently test a single pool size there.
+
+use dispersal_core::policy::{Exclusive, Sharing};
+use dispersal_core::strategy::Strategy;
+use dispersal_core::value::ValueProfile;
+use dispersal_sim::montecarlo::{estimate_symmetric, McConfig, McReport};
+use dispersal_sim::sweep::{sweep_grid, SweepCell};
+use rand::Rng;
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+fn mc_run() -> McReport {
+    let f = ValueProfile::new(vec![1.0, 0.6, 0.2]).unwrap();
+    let p = Strategy::new(vec![0.5, 0.3, 0.2]).unwrap();
+    estimate_symmetric(&f, &Sharing, &p, 4, McConfig { trials: 50_000, seed: 77, shards: 16 })
+        .unwrap()
+}
+
+fn sweep_run() -> Vec<SweepCell<u64>> {
+    let instances = vec![
+        ("zipf".to_string(), ValueProfile::zipf(10, 1.0, 1.0).unwrap()),
+        ("geometric".to_string(), ValueProfile::geometric(8, 1.0, 0.7).unwrap()),
+    ];
+    sweep_grid(&instances, &[2, 4, 8], 9, |_, _, rng| Ok(rng.gen::<u64>())).unwrap()
+}
+
+#[test]
+fn outputs_bit_identical_across_thread_counts_and_pool_is_parallel() {
+    let mut mc_reports: Vec<McReport> = Vec::new();
+    let mut sweeps: Vec<Vec<SweepCell<u64>>> = Vec::new();
+    for threads in [1, 2, 8] {
+        rayon::set_num_threads(threads);
+        mc_reports.push(mc_run());
+        sweeps.push(sweep_run());
+    }
+
+    // Monte-Carlo: identical to the bit, not just within tolerance.
+    let baseline = &mc_reports[0];
+    assert_eq!(baseline.trials, 50_000);
+    for report in &mc_reports[1..] {
+        assert_eq!(baseline.coverage.mean.to_bits(), report.coverage.mean.to_bits());
+        assert_eq!(baseline.coverage.ci95.to_bits(), report.coverage.ci95.to_bits());
+        assert_eq!(baseline.payoff.mean.to_bits(), report.payoff.mean.to_bits());
+        assert_eq!(baseline.payoff.ci95.to_bits(), report.payoff.ci95.to_bits());
+        assert_eq!(baseline.trials, report.trials);
+    }
+
+    // Sweep: same cells, same order, same per-cell draws.
+    for cells in &sweeps[1..] {
+        assert_eq!(cells.len(), sweeps[0].len());
+        for (a, b) in sweeps[0].iter().zip(cells.iter()) {
+            assert_eq!(a.instance, b.instance);
+            assert_eq!(a.k, b.k);
+            assert_eq!(a.output, b.output);
+        }
+    }
+
+    // The acceptance check for the vendored pool: with >= 2 workers
+    // configured, closures observably execute on >= 2 distinct OS threads.
+    rayon::set_num_threads(4);
+    let seen = Mutex::new(HashSet::new());
+    {
+        use rayon::prelude::*;
+        (0..16u32).into_par_iter().for_each(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+    }
+    assert!(
+        seen.lock().unwrap().len() >= 2,
+        "vendored rayon pool did not run on multiple OS threads"
+    );
+    rayon::set_num_threads(0);
+}
+
+#[test]
+fn engine_replicator_ensemble_matches_itself() {
+    // No env mutation here: determinism across *repeated* runs at
+    // whatever thread count the harness is using.
+    use dispersal_sim::replicator::{run_replicator_ensemble, ReplicatorConfig};
+    let f = ValueProfile::new(vec![1.0, 0.4]).unwrap();
+    let config = ReplicatorConfig { max_steps: 20_000, ..Default::default() };
+    let a = run_replicator_ensemble(&Exclusive, &f, 2, 6, 11, config).unwrap();
+    let b = run_replicator_ensemble(&Exclusive, &f, 2, 6, 11, config).unwrap();
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.steps, y.steps);
+        assert_eq!(x.state.prob(0).to_bits(), y.state.prob(0).to_bits());
+    }
+}

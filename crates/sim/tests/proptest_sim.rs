@@ -9,6 +9,7 @@ use dispersal_sim::rng::Seed;
 use dispersal_sim::stats::Welford;
 use proptest::prelude::*;
 use proptest::strategy::Strategy as PropStrategy;
+use rand::Rng;
 
 fn values() -> impl PropStrategy<Value = Vec<f64>> {
     proptest::collection::vec(0.1f64..5.0, 2..=8)
@@ -64,6 +65,46 @@ proptest! {
         prop_assert!((left.mean() - all.mean()).abs() < 1e-9);
         prop_assert!((left.variance() - all.variance()).abs() < 1e-6 * (1.0 + all.variance()));
         prop_assert_eq!(left.count(), all.count());
+    }
+
+    #[test]
+    fn welford_merge_of_splits_equals_single_pass(
+        xs in proptest::collection::vec(-1.0f64..1.0, 2..120),
+        parts in 1usize..8,
+    ) {
+        // The engine's reduction contract: merging any k-way split of a
+        // sample equals a single pass over the concatenation, to 1e-12.
+        let mut single = Welford::new();
+        for &x in &xs {
+            single.push(x);
+        }
+        let chunk = xs.len().div_ceil(parts);
+        let mut merged = Welford::new();
+        for part in xs.chunks(chunk) {
+            let mut w = Welford::new();
+            for &x in part {
+                w.push(x);
+            }
+            merged.merge(&w);
+        }
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert!((merged.mean() - single.mean()).abs() < 1e-12,
+            "mean {} vs {}", merged.mean(), single.mean());
+        prop_assert!((merged.variance() - single.variance()).abs() < 1e-12,
+            "variance {} vs {}", merged.variance(), single.variance());
+    }
+
+    #[test]
+    fn seed_streams_are_collision_free(seed in 0u64..1_000_000) {
+        // 10k distinct stream indices must yield 10k distinct leading
+        // draws — inter-stream independence at the birthday-bound level
+        // (a collision among 10k u64 draws has probability ~ 3e-12).
+        let mut seen = std::collections::HashSet::with_capacity(10_000);
+        for index in 0..10_000u64 {
+            let mut rng = Seed(seed).stream(index);
+            prop_assert!(seen.insert(rng.gen::<u64>()),
+                "stream {} of seed {} collided", index, seed);
+        }
     }
 
     #[test]

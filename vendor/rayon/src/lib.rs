@@ -1,32 +1,228 @@
-//! Offline vendored shim of the `rayon` API surface used by this
-//! workspace. Registry access is unavailable in the build container, so
-//! `par_iter`/`into_par_iter` degrade to ordinary **sequential** std
-//! iterators: every adapter (`map`, `zip`, `enumerate`, `collect`, …) is
-//! then just the std `Iterator` machinery, and results are identical to a
-//! rayon run because all call sites here use order-independent reductions
-//! with per-shard RNG streams.
+//! Offline vendored implementation of the `rayon` parallel-iterator API
+//! surface used by this workspace, backed by a **real** thread pool.
+//!
+//! Registry access is unavailable in the build container, so this crate
+//! re-implements the subset of rayon the workspace calls — but unlike the
+//! original seed shim it genuinely executes work on multiple OS threads:
+//!
+//! * A pipeline (`into_par_iter`/`par_iter` + `map`/`enumerate`/`zip`) is
+//!   materialized lazily and executed at `collect`/`for_each` time on a
+//!   pool of [`std::thread::scope`]d workers.
+//! * Workers pull items dynamically from a shared queue (one item per
+//!   pull), so uneven per-item cost is load-balanced the same way rayon's
+//!   work-stealing deques balance it.
+//! * The worker count honors `RAYON_NUM_THREADS` (falling back to
+//!   [`std::thread::available_parallelism`]); `RAYON_NUM_THREADS=1` runs
+//!   inline on the caller with zero thread overhead.
+//! * `collect` is order-preserving: item `i`'s result lands in slot `i`
+//!   regardless of which worker computed it, so outputs are bit-identical
+//!   at every thread count.
+//! * A panic in any worker is propagated to the caller (the scope resumes
+//!   unwinding with the original payload).
 //!
 //! Swapping the real rayon back in later is a one-line manifest change —
-//! no call sites need to be touched.
+//! the `prelude` exposes the same names, so no call sites need to change.
 
-pub mod prelude {
-    /// Sequential stand-in for `rayon::prelude::IntoParallelIterator`.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// "Parallel" iterator over `self` (sequential in this shim).
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// In-process worker-count override; 0 means "no override". Takes
+/// precedence over `RAYON_NUM_THREADS`.
+static NUM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the worker count for subsequent executions in this process;
+/// `0` clears the override. **Shim extension** — registry rayon has no
+/// such function (its global pool is pinned at first use), so any call
+/// site sweeping thread counts in-process (determinism tests, the
+/// `engine` bench) will fail to compile after a swap back to the
+/// registry crate and must be rethought there (e.g. as separate
+/// processes). That loud failure is intentional.
+///
+/// Tests must use this instead of mutating `RAYON_NUM_THREADS`:
+/// `std::env::set_var` while concurrent pool workers call `getenv` is
+/// undefined behavior on glibc.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Number of worker threads the pool will use for the next execution:
+/// the [`set_num_threads`] override if set, else `RAYON_NUM_THREADS` if
+/// set to a positive integer, else the machine's available parallelism,
+/// else 1.
+///
+/// Re-read per execution (not cached), so experiment drivers can
+/// configure the pool via `RAYON_NUM_THREADS` at process start (before
+/// any worker threads exist) and tests can re-configure it between runs
+/// via [`set_num_threads`].
+pub fn current_num_threads() -> usize {
+    let overridden = NUM_THREADS_OVERRIDE.load(Ordering::SeqCst);
+    if overridden >= 1 {
+        return overridden;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Execute `f` over `items` on the pool, returning results in item order.
+fn execute<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Shared dynamic queue: workers pull `(index, item)` pairs one at a
+    // time, so a slow item never serializes the rest of the batch behind
+    // a static chunk boundary.
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let mut slots: Vec<Option<O>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        // The guard is dropped before `f` runs, so workers
+                        // only contend on the pull, never on the work.
+                        let next = queue.lock().unwrap_or_else(|poison| poison.into_inner()).next();
+                        match next {
+                            Some((i, item)) => done.push((i, f(item))),
+                            None => break,
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(done) => {
+                    for (i, out) in done {
+                        slots[i] = Some(out);
+                    }
+                }
+                // Propagate the first worker panic with its original
+                // payload (matching rayon's behavior).
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("every index was executed exactly once")).collect()
+}
+
+/// A parallel pipeline: seed items plus a composed per-item transform,
+/// executed on the pool by a terminal operation (`collect`, `for_each`).
+pub struct ParIter<I, O, F: Fn(I) -> O> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, O, F: Fn(I) -> O> ParIter<I, O, F> {
+    /// Map each item through `g` (runs on the worker threads).
+    pub fn map<R, G>(self, g: G) -> ParIter<I, R, impl Fn(I) -> R>
+    where
+        G: Fn(O) -> R,
+    {
+        let f = self.f;
+        ParIter { items: self.items, f: move |x| g(f(x)) }
+    }
+
+    /// Pair each output with its position in the sequence.
+    #[allow(clippy::type_complexity)]
+    pub fn enumerate(self) -> ParIter<(usize, I), (usize, O), impl Fn((usize, I)) -> (usize, O)> {
+        let f = self.f;
+        ParIter { items: self.items.into_iter().enumerate().collect(), f: move |(i, x)| (i, f(x)) }
+    }
+
+    /// Zip with another pipeline, truncating to the shorter of the two.
+    #[allow(clippy::type_complexity)]
+    pub fn zip<I2, O2, F2>(
+        self,
+        other: ParIter<I2, O2, F2>,
+    ) -> ParIter<(I, I2), (O, O2), impl Fn((I, I2)) -> (O, O2)>
+    where
+        F2: Fn(I2) -> O2,
+    {
+        let f = self.f;
+        let f2 = other.f;
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+            f: move |(a, b)| (f(a), f2(b)),
         }
     }
 
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+    /// Execute the pipeline and collect the results in item order.
+    pub fn collect<C>(self) -> C
+    where
+        I: Send,
+        O: Send,
+        F: Sync,
+        C: FromIterator<O>,
+    {
+        execute(self.items, self.f).into_iter().collect()
+    }
 
-    /// Sequential stand-in for `rayon::prelude::IntoParallelRefIterator`.
+    /// Execute the pipeline for its side effects.
+    pub fn for_each<G>(self, g: G)
+    where
+        I: Send,
+        O: Send,
+        F: Sync,
+        G: Fn(O) + Sync,
+    {
+        let f = self.f;
+        execute(self.items, move |x| g(f(x)));
+    }
+
+    /// Number of items in the pipeline.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// The identity pipeline over `T`'s items (what `into_par_iter` returns).
+pub type BaseParIter<T> = ParIter<T, T, fn(T) -> T>;
+
+pub mod prelude {
+    pub use crate::{BaseParIter, ParIter};
+
+    /// Entry point mirroring `rayon::prelude::IntoParallelIterator`.
+    pub trait IntoParallelIterator: Sized {
+        /// Item type of the parallel iterator.
+        type Item;
+
+        /// Start a parallel pipeline over `self`'s items.
+        fn into_par_iter(self) -> BaseParIter<Self::Item>;
+    }
+
+    impl<C: IntoIterator> IntoParallelIterator for C {
+        type Item = C::Item;
+
+        fn into_par_iter(self) -> BaseParIter<Self::Item> {
+            ParIter { items: self.into_iter().collect(), f: std::convert::identity::<Self::Item> }
+        }
+    }
+
+    /// Entry point mirroring `rayon::prelude::IntoParallelRefIterator`.
     pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type produced by [`Self::par_iter`].
-        type Iter: Iterator;
+        /// Item type (a shared reference into `self`).
+        type Item: 'data;
 
-        /// "Parallel" iterator over `&self` (sequential in this shim).
-        fn par_iter(&'data self) -> Self::Iter;
+        /// Start a parallel pipeline over `&self`'s items.
+        fn par_iter(&'data self) -> BaseParIter<Self::Item>;
     }
 
     impl<'data, T: ?Sized> IntoParallelRefIterator<'data> for T
@@ -34,10 +230,65 @@ pub mod prelude {
         &'data T: IntoIterator,
         T: 'data,
     {
-        type Iter = <&'data T as IntoIterator>::IntoIter;
+        type Item = <&'data T as IntoIterator>::Item;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter(&'data self) -> BaseParIter<Self::Item> {
+            self.into_iter().into_par_iter()
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn collect_preserves_order() {
+        crate::set_num_threads(4);
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_and_enumerate_compose() {
+        let a = vec![1u64, 2, 3];
+        let b = vec![10u64, 20, 30];
+        let out: Vec<(usize, u64)> =
+            a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).enumerate().collect();
+        assert_eq!(out, vec![(0, 11), (1, 22), (2, 33)]);
+    }
+
+    #[test]
+    fn uses_multiple_os_threads() {
+        crate::set_num_threads(4);
+        let seen = Mutex::new(HashSet::new());
+        (0..16u32).into_par_iter().for_each(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(seen.lock().unwrap().len() >= 2, "expected >= 2 worker threads");
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        crate::set_num_threads(2);
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = (0..8u32)
+                .into_par_iter()
+                .map(|i| if i == 3 { panic!("boom") } else { i })
+                .collect();
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn fallible_collect_short_circuits_to_err() {
+        let out: Result<Vec<u32>, String> = (0..8u32)
+            .into_par_iter()
+            .map(|i| if i == 5 { Err("bad".to_string()) } else { Ok(i) })
+            .collect();
+        assert_eq!(out, Err("bad".to_string()));
     }
 }
