@@ -14,7 +14,7 @@ fn bench_g(c: &mut Criterion) {
     for &k in &[2usize, 16, 128] {
         let ctx = PayoffContext::new(&Sharing, k).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| ctx.g(black_box(0.37)))
+            b.iter(|| ctx.g(black_box(0.37)).unwrap())
         });
     }
     group.finish();

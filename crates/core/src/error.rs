@@ -66,6 +66,13 @@ pub enum Error {
         /// Final residual when the budget ran out.
         residual: f64,
     },
+    /// A congestion-response query `g_C(q)` (or a coverage evaluation over
+    /// raw probabilities) received a `q` outside `[0, 1]` beyond numerical
+    /// tolerance, or a non-finite `q`.
+    ProbabilityOutOfRange {
+        /// The rejected probability.
+        q: f64,
+    },
     /// Generic invalid argument.
     InvalidArgument(String),
     /// An I/O operation failed (experiment output, result files). Stores
@@ -116,6 +123,9 @@ impl fmt::Display for Error {
             Error::NoConvergence { what, residual } => {
                 write!(out, "{what} failed to converge (residual {residual:e})")
             }
+            Error::ProbabilityOutOfRange { q } => {
+                write!(out, "probability {q} is outside [0, 1] beyond tolerance")
+            }
             Error::InvalidArgument(msg) => write!(out, "invalid argument: {msg}"),
             Error::Io(msg) => write!(out, "I/O error: {msg}"),
         }
@@ -145,6 +155,7 @@ mod tests {
             Error::IncreasingCongestion { ell: 1, c_ell: 0.2, c_next: 0.4 },
             Error::DegeneratePolicy,
             Error::NoConvergence { what: "ifd", residual: 1e-3 },
+            Error::ProbabilityOutOfRange { q: 1.5 },
             Error::InvalidArgument("x".into()),
             Error::Io("disk full".into()),
         ];

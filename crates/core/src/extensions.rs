@@ -71,24 +71,35 @@ pub fn solve_ifd_with_costs(
     }
     // Water-filling on the common net value nu: occupancy q_x solves
     // f(x)·g(q) − t(x) = nu, used only when the solo net value exceeds nu.
-    let occupancy = |nu: f64| -> Vec<f64> {
+    // All g evaluations run through the batched kernel with one reused
+    // scratch (the inner bisection is 64 evaluations per site per step).
+    let kernel = ctx.kernel();
+    let mut scratch = kernel.scratch();
+    let mut occupancy = |nu: f64| -> Vec<f64> {
+        let scratch = &mut scratch;
         (0..f.len())
             .map(|x| {
-                let solo = f.value(x) * ctx.g(0.0) - costs[x];
+                let solo = f.value(x) * kernel.at_zero() - costs[x];
                 if solo <= nu {
                     0.0
                 } else {
                     let target = (nu + costs[x]) / f.value(x);
-                    if target <= ctx.g(1.0) {
+                    if target <= kernel.at_one() {
                         1.0
                     } else {
-                        crate::numerics::bisect_decreasing(|q| ctx.g(q), 0.0, 1.0, target, 64)
+                        crate::numerics::bisect_decreasing(
+                            |q| kernel.eval_with(scratch, q),
+                            0.0,
+                            1.0,
+                            target,
+                            64,
+                        )
                     }
                 }
             })
             .collect()
     };
-    let g1 = ctx.g(1.0);
+    let g1 = kernel.at_one();
     let mut hi = (0..f.len()).map(|x| f.value(x) - costs[x]).fold(f64::NEG_INFINITY, f64::max);
     let mut lo = (0..f.len()).map(|x| f.value(x) * g1 - costs[x]).fold(f64::INFINITY, f64::min);
     let pad = 1e-12 * (1.0 + hi.abs() + lo.abs());
@@ -210,7 +221,7 @@ mod tests {
         let ctx = PayoffContext::new(&Sharing, k).unwrap();
         for x in 0..3 {
             if ifd.strategy.prob(x) > 1e-9 {
-                let net = f.value(x) * ctx.g(ifd.strategy.prob(x)) - costs[x];
+                let net = f.value(x) * ctx.g(ifd.strategy.prob(x)).unwrap() - costs[x];
                 close(net, ifd.value, 1e-7);
             }
         }

@@ -16,6 +16,7 @@
 //! negative when players are forced to crowd (`M` small, `k` large).
 
 use crate::error::{Error, Result};
+use crate::kernel::GScratch;
 use crate::payoff::PayoffContext;
 use crate::policy::Congestion;
 use crate::strategy::Strategy;
@@ -41,18 +42,29 @@ pub struct Ifd {
 }
 
 /// Invert `g` at `target` over `q ∈ [0, 1]` for a strictly decreasing `g`.
-fn invert_g(ctx: &PayoffContext, target: f64) -> f64 {
-    if target >= ctx.g(0.0) {
+///
+/// Runs through the batched kernel with a caller-owned scratch: the inner
+/// bisection evaluates `g` 64 times per site per outer step, so the
+/// allocation-free `O(k)` path matters here.
+fn invert_g(ctx: &PayoffContext, scratch: &mut GScratch, target: f64) -> f64 {
+    let kernel = ctx.kernel();
+    if target >= kernel.at_zero() {
         return 0.0;
     }
-    if target <= ctx.g(1.0) {
+    if target <= kernel.at_one() {
         return 1.0;
     }
-    crate::numerics::bisect_decreasing(|q| ctx.g(q), 0.0, 1.0, target, INNER_ITERS)
+    crate::numerics::bisect_decreasing(
+        |q| kernel.eval_with(scratch, q),
+        0.0,
+        1.0,
+        target,
+        INNER_ITERS,
+    )
 }
 
 /// Occupancies `q_x(ν)` for a candidate common value.
-fn occupancies(ctx: &PayoffContext, f: &ValueProfile, nu: f64) -> Vec<f64> {
+fn occupancies(ctx: &PayoffContext, scratch: &mut GScratch, f: &ValueProfile, nu: f64) -> Vec<f64> {
     f.values()
         .iter()
         .map(|&fx| {
@@ -60,7 +72,7 @@ fn occupancies(ctx: &PayoffContext, f: &ValueProfile, nu: f64) -> Vec<f64> {
             if fx <= nu {
                 0.0
             } else {
-                invert_g(ctx, nu / fx)
+                invert_g(ctx, scratch, nu / fx)
             }
         })
         .collect()
@@ -107,29 +119,30 @@ pub fn solve_ifd_with_context(ctx: &PayoffContext, f: &ValueProfile) -> Result<I
         let strategy = Strategy::delta(f.len(), 0)?;
         return Ok(Ifd { strategy, value: f.value(0), support: 1, residual: 0.0 });
     }
+    let mut scratch = ctx.kernel().scratch();
     // g(1) = C(k), possibly negative.
-    let g1 = ctx.g(1.0);
+    let g1 = ctx.kernel().at_one();
     // nu_hi: at nu = f(1)·g(0) = f(1), every occupancy is 0, S = 0 <= 1.
-    let mut hi = f.value(0) * ctx.g(0.0);
+    let mut hi = f.value(0) * ctx.kernel().at_zero();
     // nu_lo: a value at which every site is fully occupied, S = M >= 1.
     let mut lo = if g1 >= 0.0 { f.value(f.len() - 1) * g1 } else { f.value(0) * g1 };
     // Guard the bracket against round-off at the endpoints.
     let pad = 1e-12 * (1.0 + hi.abs() + lo.abs());
     hi += pad;
     lo -= pad;
-    let sum_at = |nu: f64| -> f64 { occupancies(ctx, f, nu).iter().sum::<f64>() };
     let mut lo_nu = lo;
     let mut hi_nu = hi;
     for _ in 0..OUTER_ITERS {
         let mid = 0.5 * (lo_nu + hi_nu);
-        if sum_at(mid) >= 1.0 {
+        let sum_at_mid: f64 = occupancies(ctx, &mut scratch, f, mid).iter().sum();
+        if sum_at_mid >= 1.0 {
             lo_nu = mid;
         } else {
             hi_nu = mid;
         }
     }
     let nu = 0.5 * (lo_nu + hi_nu);
-    let mut probs = occupancies(ctx, f, nu);
+    let mut probs = occupancies(ctx, &mut scratch, f, nu);
     // Exact renormalization of residual bisection slack.
     let sum: f64 = crate::numerics::kahan_sum(probs.iter().copied());
     if sum <= 0.0 {

@@ -50,6 +50,7 @@ pub mod error;
 pub mod ess;
 pub mod extensions;
 pub mod ifd;
+pub mod kernel;
 pub mod numerics;
 pub mod optimal;
 pub mod payoff;
@@ -67,11 +68,14 @@ pub use error::{Error, Result};
 
 /// One-line imports for the common workflow.
 pub mod prelude {
-    pub use crate::coverage::{coverage, coverage_profile, miss_mass, observation1_bound};
+    pub use crate::coverage::{
+        coverage, coverage_many, coverage_probs, coverage_profile, miss_mass, observation1_bound,
+    };
     pub use crate::error::{Error, Result};
     pub use crate::ess::{check_mutant, invasion_barrier, probe_ess_k, EssReport, MutantVerdict};
     pub use crate::extensions::{capacity_coverage, solve_ifd_with_costs, CostIfd};
     pub use crate::ifd::{solve_ifd, solve_ifd_allow_degenerate, Ifd};
+    pub use crate::kernel::{GScratch, GTable};
     pub use crate::optimal::{optimal_coverage, optimal_coverage_gradient, OptimalCoverage};
     pub use crate::payoff::PayoffContext;
     pub use crate::policy::{

@@ -114,8 +114,8 @@ pub fn poisson_binomial_expectation(probs: &[f64], h: &[f64]) -> f64 {
 /// Finds `x ∈ [lo, hi]` with `f(x) ≈ target`, assuming `f(lo) ≥ target ≥
 /// f(hi)` up to numerical slack. Returns the midpoint after `iters`
 /// halvings; 100 iterations give ~2⁻¹⁰⁰ relative interval width.
-pub fn bisect_decreasing<F: Fn(f64) -> f64>(
-    f: F,
+pub fn bisect_decreasing<F: FnMut(f64) -> f64>(
+    mut f: F,
     mut lo: f64,
     mut hi: f64,
     target: f64,

@@ -13,17 +13,25 @@
 //! Poisson–binomial law, evaluated exactly by [`crate::numerics`].
 
 use crate::error::{Error, Result};
+use crate::kernel::GTable;
 use crate::numerics::{binomial_pmf_vector, kahan_sum, poisson_binomial_pmf};
 use crate::policy::Congestion;
 use crate::strategy::Strategy;
 use crate::value::ValueProfile;
 
+/// Relative tolerance for congestion-table comparisons (degeneracy and
+/// monotonicity checks), keyed off the table's leading coefficient so
+/// scaled policies (`C(1) ≫ 1`) classify correctly.
+const REL_TOL: f64 = 1e-12;
+
 /// Precomputed evaluation context for a `(C, k)` pair: caches the table
-/// `C(1..=k)` so hot loops avoid virtual dispatch per term.
+/// `C(1..=k)` and a batched [`GTable`] kernel so hot loops avoid both
+/// virtual dispatch and per-call PMF setup.
 #[derive(Debug, Clone)]
 pub struct PayoffContext {
-    /// `c_table[j] = C(j + 1)` for `j = 0..k`.
-    c_table: Vec<f64>,
+    /// The batched congestion-response kernel (owns the coefficient table
+    /// `c_table[j] = C(j + 1)`).
+    kernel: GTable,
     k: usize,
 }
 
@@ -31,7 +39,30 @@ impl PayoffContext {
     /// Build a context for `k ≥ 1` players, validating the policy axioms.
     pub fn new(c: &dyn Congestion, k: usize) -> Result<Self> {
         let c_table = crate::policy::validate_congestion(c, k)?;
-        Ok(Self { c_table, k })
+        Ok(Self { kernel: GTable::from_coefficients(c_table)?, k })
+    }
+
+    /// Build a context directly from a coefficient table `[C(1), …, C(k)]`
+    /// **without** the `C(1) = 1` normalization requirement — the entry
+    /// point for scaled policies (e.g. reward-designed tables with
+    /// `C(1) = 10⁹`). The table must be non-empty, finite, and
+    /// non-increasing up to a *relative* tolerance of its own scale.
+    pub fn from_table(c_table: Vec<f64>) -> Result<Self> {
+        if c_table.is_empty() {
+            return Err(Error::InvalidPlayerCount { k: 0 });
+        }
+        let scale = c_table[0].abs().max(1.0);
+        for ell in 0..c_table.len() - 1 {
+            if c_table[ell + 1] > c_table[ell] + REL_TOL * scale {
+                return Err(Error::IncreasingCongestion {
+                    ell: ell + 1,
+                    c_ell: c_table[ell],
+                    c_next: c_table[ell + 1],
+                });
+            }
+        }
+        let k = c_table.len();
+        Ok(Self { kernel: GTable::from_coefficients(c_table)?, k })
     }
 
     /// Number of players `k`.
@@ -43,29 +74,65 @@ impl PayoffContext {
     /// The cached table `C(1..=k)`.
     #[inline]
     pub fn c_table(&self) -> &[f64] {
-        &self.c_table
+        self.kernel.coefficients()
+    }
+
+    /// The batched evaluation kernel for this `(C, k)` pair. Hot loops
+    /// should pull a [`crate::kernel::GScratch`] from it and use
+    /// [`GTable::eval_with`]/[`GTable::eval_many_with`] — bit-identical to
+    /// [`Self::g`] with none of its per-call setup.
+    #[inline]
+    pub fn kernel(&self) -> &GTable {
+        &self.kernel
     }
 
     /// Whether the policy is degenerate (constant on `[1, k]`), in which
     /// case `g_C` is constant and site values do not react to congestion.
+    ///
+    /// The comparison is *relative* to `C(1)` so scaled tables (built via
+    /// [`Self::from_table`], e.g. `C(1) = 10⁹`) classify the same way as
+    /// their normalized counterparts.
     pub fn is_degenerate(&self) -> bool {
-        let first = self.c_table[0];
-        self.c_table.iter().all(|&v| (v - first).abs() <= 1e-12)
+        let table = self.kernel.coefficients();
+        let first = table[0];
+        let tol = REL_TOL * first.abs().max(1.0);
+        table.iter().all(|&v| (v - first).abs() <= tol)
     }
 
     /// The congestion response `g_C(q) = Σ_j C(j+1)·b_{j,k−1}(q)`.
     ///
     /// `g_C(0) = C(1) = 1` and `g_C(1) = C(k)`; for a non-constant
     /// non-increasing `C` it is strictly decreasing on `[0, 1]`.
-    pub fn g(&self, q: f64) -> f64 {
-        debug_assert!((-1e-12..=1.0 + 1e-12).contains(&q), "q out of range: {q}");
+    ///
+    /// `q` within `±1e-12` of `[0, 1]` is clamped (round-off from
+    /// renormalizing solvers and dynamics is expected); a genuinely
+    /// out-of-range or non-finite `q` is rejected with
+    /// [`Error::ProbabilityOutOfRange`] **in every build profile** —
+    /// release builds no longer silently evaluate drifted probabilities.
+    ///
+    /// This is the scalar *reference* path; batch work should go through
+    /// [`Self::kernel`], which produces bit-identical values.
+    pub fn g(&self, q: f64) -> Result<f64> {
+        if !q.is_finite() || !(-1e-12..=1.0 + 1e-12).contains(&q) {
+            return Err(Error::ProbabilityOutOfRange { q });
+        }
         let q = q.clamp(0.0, 1.0);
         let pmf = binomial_pmf_vector(self.k - 1, q);
-        kahan_sum(pmf.iter().zip(self.c_table.iter()).map(|(p, c)| p * c))
+        Ok(kahan_sum(pmf.iter().zip(self.c_table().iter()).map(|(p, c)| p * c)))
+    }
+
+    /// Infallible `g_C` for callers whose `q` is mathematically a
+    /// probability but may carry round-off (solver interiors, ODE states):
+    /// clamps `q` into `[0, 1]` and evaluates through the kernel.
+    pub fn g_clamped(&self, q: f64) -> f64 {
+        self.kernel.eval(q.clamp(0.0, 1.0))
     }
 
     /// Derivative `g_C'(q)`, via the Bernstein derivative identity
     /// `d/dq b_{j,n}(q) = n·(b_{j−1,n−1}(q) − b_{j,n−1}(q))`.
+    ///
+    /// Scalar reference path (clamps `q`); batch work should use
+    /// [`GTable::eval_prime_with`] on [`Self::kernel`].
     pub fn g_prime(&self, q: f64) -> f64 {
         let n = self.k - 1;
         if n == 0 {
@@ -73,30 +140,47 @@ impl PayoffContext {
         }
         let q = q.clamp(0.0, 1.0);
         let pmf = binomial_pmf_vector(n - 1, q);
+        let c_table = self.c_table();
         // g'(q) = n Σ_j C(j+1) [b_{j-1,n-1} - b_{j,n-1}]
         //       = n Σ_i b_{i,n-1} (C(i+2) - C(i+1))
         let mut acc = 0.0;
         for (i, &b) in pmf.iter().enumerate() {
-            acc += b * (self.c_table[i + 1] - self.c_table[i]);
+            acc += b * (c_table[i + 1] - c_table[i]);
         }
         n as f64 * acc
     }
 
-    /// The site value `ν_p(x) = f(x)·g_C(p(x))` (Eq. 2).
+    /// The site value `ν_p(x) = f(x)·g_C(p(x))` (Eq. 2). `px` is clamped
+    /// into `[0, 1]` (debug builds assert it is within round-off of the
+    /// range); use [`Self::g`] when out-of-range inputs must error.
     pub fn site_value(&self, fx: f64, px: f64) -> f64 {
-        fx * self.g(px)
+        debug_assert!((-1e-12..=1.0 + 1e-12).contains(&px), "px out of range: {px}");
+        fx * self.g_clamped(px)
+    }
+
+    /// All site values `ν_p(·)` for a symmetric field `p`, batched into a
+    /// caller-owned slice (`out.len() == f.len()`): one kernel scratch for
+    /// the whole row, no per-site setup.
+    pub fn site_values_into(&self, f: &ValueProfile, p: &Strategy, out: &mut [f64]) -> Result<()> {
+        if f.len() != p.len() {
+            return Err(Error::DimensionMismatch { strategy: p.len(), profile: f.len() });
+        }
+        if out.len() != f.len() {
+            return Err(Error::DimensionMismatch { strategy: out.len(), profile: f.len() });
+        }
+        let mut scratch = self.kernel.scratch();
+        self.kernel.eval_many_with(&mut scratch, p.probs(), out);
+        for (slot, &fx) in out.iter_mut().zip(f.values().iter()) {
+            *slot *= fx;
+        }
+        Ok(())
     }
 
     /// All site values `ν_p(·)` for a symmetric field `p`.
     pub fn site_values(&self, f: &ValueProfile, p: &Strategy) -> Result<Vec<f64>> {
-        if f.len() != p.len() {
-            return Err(Error::DimensionMismatch { strategy: p.len(), profile: f.len() });
-        }
-        Ok(f.values()
-            .iter()
-            .zip(p.probs().iter())
-            .map(|(&fx, &px)| self.site_value(fx, px))
-            .collect())
+        let mut out = vec![0.0; f.len()];
+        self.site_values_into(f, p, &mut out)?;
+        Ok(out)
     }
 
     /// Expected payoff of playing `rho` when all `k − 1` opponents play `p`:
@@ -116,15 +200,23 @@ impl PayoffContext {
     }
 
     /// Gradient of `U(p)` w.r.t. `p`:
-    /// `∂U/∂p(x) = f(x)·(g_C(p(x)) + p(x)·g_C'(p(x)))`.
+    /// `∂U/∂p(x) = f(x)·(g_C(p(x)) + p(x)·g_C'(p(x)))`, evaluated in two
+    /// batched kernel passes (values then derivatives).
     pub fn symmetric_payoff_gradient(&self, f: &ValueProfile, p: &Strategy) -> Result<Vec<f64>> {
         if f.len() != p.len() {
             return Err(Error::DimensionMismatch { strategy: p.len(), profile: f.len() });
         }
+        let m = f.len();
+        let mut scratch = self.kernel.scratch();
+        let mut gs = vec![0.0; m];
+        let mut dgs = vec![0.0; m];
+        self.kernel.eval_many_with(&mut scratch, p.probs(), &mut gs);
+        self.kernel.eval_prime_many_with(&mut scratch, p.probs(), &mut dgs);
         Ok(f.values()
             .iter()
             .zip(p.probs().iter())
-            .map(|(&fx, &px)| fx * (self.g(px) + px * self.g_prime(px)))
+            .zip(gs.iter().zip(dgs.iter()))
+            .map(|((&fx, &px), (&g, &dg))| fx * (g + px * dg))
             .collect())
     }
 
@@ -165,7 +257,7 @@ impl PayoffContext {
             }
             let pmf = poisson_binomial_pmf(&probs_at_site);
             let expected_c: f64 =
-                kahan_sum(pmf.iter().zip(self.c_table.iter()).map(|(p, c)| p * c));
+                kahan_sum(pmf.iter().zip(self.c_table().iter()).map(|(p, c)| p * c));
             total += rx * f.value(x) * expected_c;
         }
         Ok(total)
@@ -229,8 +321,8 @@ mod tests {
     #[test]
     fn g_endpoints() {
         let ctx = PayoffContext::new(&Sharing, 4).unwrap();
-        close(ctx.g(0.0), 1.0, 1e-14); // C(1)
-        close(ctx.g(1.0), 0.25, 1e-14); // C(4)
+        close(ctx.g(0.0).unwrap(), 1.0, 1e-14); // C(1)
+        close(ctx.g(1.0).unwrap(), 0.25, 1e-14); // C(4)
     }
 
     #[test]
@@ -239,7 +331,7 @@ mod tests {
         let k = 6;
         let ctx = PayoffContext::new(&Exclusive, k).unwrap();
         for &q in &[0.0, 0.1, 0.37, 0.9, 1.0] {
-            close(ctx.g(q), (1.0 - q).powi(k as i32 - 1), 1e-13);
+            close(ctx.g(q).unwrap(), (1.0 - q).powi(k as i32 - 1), 1e-13);
         }
     }
 
@@ -251,7 +343,7 @@ mod tests {
         let ctx = PayoffContext::new(&Sharing, k).unwrap();
         for &q in &[0.1, 0.5, 0.9] {
             let expect = (1.0 - (1.0f64 - q).powi(n as i32 + 1)) / ((n as f64 + 1.0) * q);
-            close(ctx.g(q), expect, 1e-13);
+            close(ctx.g(q).unwrap(), expect, 1e-13);
         }
     }
 
@@ -259,7 +351,7 @@ mod tests {
     fn g_single_player_is_always_one() {
         let ctx = PayoffContext::new(&Sharing, 1).unwrap();
         for &q in &[0.0, 0.5, 1.0] {
-            close(ctx.g(q), 1.0, 1e-15);
+            close(ctx.g(q).unwrap(), 1.0, 1e-15);
         }
         close(ctx.g_prime(0.3), 0.0, 1e-15);
     }
@@ -268,10 +360,10 @@ mod tests {
     fn g_is_strictly_decreasing_for_nonconstant_policies() {
         for c in [&Exclusive as &dyn Congestion, &Sharing, &TwoLevel { c: -0.4 }] {
             let ctx = PayoffContext::new(c, 5).unwrap();
-            let mut prev = ctx.g(0.0);
+            let mut prev = ctx.g(0.0).unwrap();
             for i in 1..=20 {
                 let q = i as f64 / 20.0;
-                let cur = ctx.g(q);
+                let cur = ctx.g(q).unwrap();
                 assert!(cur < prev, "{}: g({q}) = {cur} >= {prev}", c.name());
                 prev = cur;
             }
@@ -287,12 +379,70 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_detection_is_relative_to_scale() {
+        // A scaled constant policy: C(1) = 1e9 with round-off-level wiggle
+        // (relative 1e-13). The old absolute 1e-12 comparison misclassified
+        // this as non-degenerate; the relative check does not.
+        let wiggly = PayoffContext::from_table(vec![1e9, 1e9 - 1e-4, 1e9 - 1e-4]).unwrap();
+        assert!(wiggly.is_degenerate());
+        // A genuinely decaying scaled policy stays non-degenerate.
+        let scaled_exclusive = PayoffContext::from_table(vec![1e9, 0.0, 0.0]).unwrap();
+        assert!(!scaled_exclusive.is_degenerate());
+    }
+
+    #[test]
+    fn from_table_validates_and_scales() {
+        assert!(PayoffContext::from_table(vec![]).is_err());
+        assert!(PayoffContext::from_table(vec![1.0, f64::NAN]).is_err());
+        // Increasing beyond relative tolerance is rejected …
+        assert!(matches!(
+            PayoffContext::from_table(vec![1e9, 1e9 + 1.0]),
+            Err(Error::IncreasingCongestion { .. })
+        ));
+        // … but round-off-level increase at scale is tolerated.
+        let ctx = PayoffContext::from_table(vec![1e9, 1e9 + 1e-5]).unwrap();
+        assert_eq!(ctx.k(), 2);
+        close(ctx.g(0.0).unwrap(), 1e9, 1e-3);
+    }
+
+    #[test]
+    fn g_rejects_out_of_range_in_all_profiles() {
+        let ctx = PayoffContext::new(&Sharing, 4).unwrap();
+        // Round-off within tolerance clamps to the endpoint value.
+        assert_eq!(ctx.g(-1e-13).unwrap().to_bits(), ctx.g(0.0).unwrap().to_bits());
+        assert_eq!(ctx.g(1.0 + 1e-13).unwrap().to_bits(), ctx.g(1.0).unwrap().to_bits());
+        // Genuinely out-of-range and non-finite inputs error (this check
+        // runs in release builds too — it is not a debug_assert).
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(ctx.g(bad), Err(Error::ProbabilityOutOfRange { .. })),
+                "g({bad}) should be rejected"
+            );
+        }
+        // The clamped variant never errors.
+        assert_eq!(ctx.g_clamped(1.5).to_bits(), ctx.g(1.0).unwrap().to_bits());
+        assert_eq!(ctx.g_clamped(-3.0).to_bits(), ctx.g(0.0).unwrap().to_bits());
+    }
+
+    #[test]
+    fn site_values_into_checks_output_length() {
+        let f = ValueProfile::new(vec![1.0, 0.5]).unwrap();
+        let p = Strategy::uniform(2).unwrap();
+        let ctx = PayoffContext::new(&Sharing, 2).unwrap();
+        let mut too_short = vec![0.0; 1];
+        assert!(ctx.site_values_into(&f, &p, &mut too_short).is_err());
+        let mut out = vec![0.0; 2];
+        ctx.site_values_into(&f, &p, &mut out).unwrap();
+        assert_eq!(out, ctx.site_values(&f, &p).unwrap());
+    }
+
+    #[test]
     fn g_prime_matches_finite_difference() {
         for c in [&Exclusive as &dyn Congestion, &Sharing, &TwoLevel { c: -0.25 }] {
             let ctx = PayoffContext::new(c, 7).unwrap();
             let h = 1e-6;
             for &q in &[0.1, 0.4, 0.8] {
-                let fd = (ctx.g(q + h) - ctx.g(q - h)) / (2.0 * h);
+                let fd = (ctx.g(q + h).unwrap() - ctx.g(q - h).unwrap()) / (2.0 * h);
                 close(ctx.g_prime(q), fd, 1e-6);
             }
         }

@@ -24,20 +24,29 @@ pub struct SigmaStar {
     pub strategy: Strategy,
     /// Support size `W` (σ⋆ explores exactly sites `1..=W`, 1-based).
     pub support: usize,
-    /// The normalization constant `α`; the common equilibrium value is
-    /// `ν = α^{k−1}`.
+    /// The normalization constant `α = (W − 1) / Σ_{x≤W} f(x)^{−1/(k−1)}`;
+    /// the common equilibrium value is `ν = α^{k−1}` for `k ≥ 2`. For
+    /// `k = 1` the formula degenerates to `α = 0` (single-site support
+    /// makes the numerator `W − 1` vanish) and `α` carries no information.
     pub alpha: f64,
+    /// The best site's value `f(1)` — the equilibrium value of the
+    /// single-player game.
+    pub top_value: f64,
     /// Player count the strategy was computed for.
     pub k: usize,
 }
 
 impl SigmaStar {
-    /// The common equilibrium value `ν = α^{k−1}` received on the support
-    /// (each occupied site has `f(x)·(1 − σ⋆(x))^{k−1} = α^{k−1}`).
+    /// The common equilibrium value received on the support: `ν = α^{k−1}`
+    /// for `k ≥ 2` (each occupied site has
+    /// `f(x)·(1 − σ⋆(x))^{k−1} = α^{k−1}`), and `f(1)` for `k = 1` — a
+    /// lone player takes the best site outright. The `k = 1` case must
+    /// *not* read `α`: the defining formula `(W − 1)/Σ…` is 0 there, so
+    /// returning `α` (or `α⁰ = 1`) would report a zero/unit value instead
+    /// of the best site's.
     pub fn equilibrium_value(&self) -> f64 {
         if self.k == 1 {
-            // A single player takes the best site outright.
-            return self.alpha;
+            return self.top_value;
         }
         self.alpha.powi(self.k as i32 - 1)
     }
@@ -81,10 +90,13 @@ pub fn sigma_star(f: &ValueProfile, k: usize) -> Result<SigmaStar> {
     }
     let m = f.len();
     if k == 1 {
+        // alpha follows its defining formula (W − 1 = 0 ⇒ α = 0); the
+        // equilibrium value comes from `top_value`, not α.
         return Ok(SigmaStar {
             strategy: Strategy::delta(m, 0)?,
             support: 1,
-            alpha: f.value(0),
+            alpha: 0.0,
+            top_value: f.value(0),
             k,
         });
     }
@@ -110,7 +122,7 @@ pub fn sigma_star(f: &ValueProfile, k: usize) -> Result<SigmaStar> {
     for p in probs.iter_mut() {
         *p /= sum;
     }
-    Ok(SigmaStar { strategy: Strategy::new(probs)?, support: w, alpha, k })
+    Ok(SigmaStar { strategy: Strategy::new(probs)?, support: w, alpha, top_value: f.value(0), k })
 }
 
 /// Verify the two IFD conditions of Claim 7 for a candidate strategy under
@@ -165,6 +177,25 @@ mod tests {
         assert_eq!(s.strategy.probs(), &[1.0, 0.0, 0.0]);
         assert_eq!(s.support, 1);
         close(s.equilibrium_value(), 3.0, 1e-15);
+    }
+
+    #[test]
+    fn k1_equilibrium_value_is_top_value_not_alpha() {
+        // Regression: with single-site support the defining formula gives
+        // α = (W − 1)/Σ = 0; the equilibrium value must still be f(1).
+        let f = ValueProfile::new(vec![7.5, 2.0]).unwrap();
+        let s = sigma_star(&f, 1).unwrap();
+        assert_eq!(s.alpha, 0.0);
+        close(s.equilibrium_value(), 7.5, 1e-15);
+        // Even a hand-built record with the degenerate α reports f(1).
+        let built = SigmaStar {
+            strategy: Strategy::delta(2, 0).unwrap(),
+            support: 1,
+            alpha: 0.0,
+            top_value: 7.5,
+            k: 1,
+        };
+        close(built.equilibrium_value(), 7.5, 1e-15);
     }
 
     #[test]

@@ -48,13 +48,26 @@ pub fn welfare_optimum_with_context(
             starts.push(star.strategy);
         }
     }
+    // Both closures share one kernel scratch (RefCell because the ascent
+    // driver takes them as plain `Fn`), so every g/g' evaluation is the
+    // allocation-free batched path instead of a per-call PMF rebuild.
+    let kernel = ctx.kernel();
+    let scratch = std::cell::RefCell::new(kernel.scratch());
     let objective = |p: &[f64]| -> f64 {
-        p.iter().zip(f.values().iter()).map(|(&px, &fx)| px * fx * ctx.g(px)).sum()
-    };
-    let gradient = |p: &[f64]| -> Vec<f64> {
+        let mut s = scratch.borrow_mut();
         p.iter()
             .zip(f.values().iter())
-            .map(|(&px, &fx)| fx * (ctx.g(px) + px * ctx.g_prime(px)))
+            .map(|(&px, &fx)| px * fx * kernel.eval_with(&mut s, px.clamp(0.0, 1.0)))
+            .sum()
+    };
+    let gradient = |p: &[f64]| -> Vec<f64> {
+        let mut s = scratch.borrow_mut();
+        p.iter()
+            .zip(f.values().iter())
+            .map(|(&px, &fx)| {
+                let q = px.clamp(0.0, 1.0);
+                fx * (kernel.eval_with(&mut s, q) + px * kernel.eval_prime_with(&mut s, q))
+            })
             .collect()
     };
     let mut best: Option<WelfareOptimum> = None;
@@ -78,9 +91,14 @@ pub fn welfare_optimum_two_sites(ctx: &PayoffContext, f: &ValueProfile) -> Resul
             f.len()
         )));
     }
-    let u_of = |p1: f64| -> f64 {
+    // One reused kernel scratch across the ~800 evaluations of the scan
+    // plus golden-section refinement.
+    let kernel = ctx.kernel();
+    let mut scratch = kernel.scratch();
+    let mut u_of = |p1: f64| -> f64 {
         let p2 = 1.0 - p1;
-        p1 * f.value(0) * ctx.g(p1) + p2 * f.value(1) * ctx.g(p2)
+        p1 * f.value(0) * kernel.eval_with(&mut scratch, p1.clamp(0.0, 1.0))
+            + p2 * f.value(1) * kernel.eval_with(&mut scratch, p2.clamp(0.0, 1.0))
     };
     // Coarse scan to bracket the global maximum.
     let grid = 400usize;
@@ -197,7 +215,7 @@ mod tests {
         let mut best = f64::NEG_INFINITY;
         for i in 0..=10_000 {
             let p = i as f64 / 10_000.0;
-            let u = p * 1.0 * ctx.g(p) + (1.0 - p) * 0.5 * ctx.g(1.0 - p);
+            let u = p * 1.0 * ctx.g_clamped(p) + (1.0 - p) * 0.5 * ctx.g_clamped(1.0 - p);
             best = best.max(u);
         }
         close(opt.payoff, best, 1e-7);

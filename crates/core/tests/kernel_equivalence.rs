@@ -1,0 +1,86 @@
+//! CI smoke test: the batched kernel cannot silently diverge from the
+//! scalar reference path, checked at `k = 256` (the largest player count
+//! the benches exercise). Run explicitly in CI via
+//! `cargo test --release -p dispersal-core --test kernel_equivalence`.
+
+use dispersal_core::kernel::GTable;
+use dispersal_core::payoff::PayoffContext;
+use dispersal_core::policy::{Congestion, Exclusive, PowerLaw, Sharing, TwoLevel};
+
+const K: usize = 256;
+
+fn policies() -> [&'static dyn Congestion; 4] {
+    [&Exclusive, &Sharing, &TwoLevel { c: -0.4 }, &PowerLaw { beta: 2.0 }]
+}
+
+fn dense_grid() -> Vec<f64> {
+    (0..=2048).map(|i| i as f64 / 2048.0).collect()
+}
+
+#[test]
+fn kernel_is_bit_identical_to_scalar_g_at_k256() {
+    for c in policies() {
+        let ctx = PayoffContext::new(c, K).unwrap();
+        let table = GTable::new(c, K).unwrap();
+        let mut scratch = table.scratch();
+        for &q in dense_grid().iter() {
+            let scalar = ctx.g(q).unwrap();
+            let batched = table.eval_with(&mut scratch, q);
+            assert_eq!(
+                scalar.to_bits(),
+                batched.to_bits(),
+                "{} q={q}: scalar {scalar} vs kernel {batched}",
+                c.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn kernel_prime_is_bit_identical_to_scalar_g_prime_at_k256() {
+    for c in policies() {
+        let ctx = PayoffContext::new(c, K).unwrap();
+        let table = GTable::new(c, K).unwrap();
+        let mut scratch = table.scratch();
+        for &q in dense_grid().iter() {
+            assert_eq!(
+                ctx.g_prime(q).to_bits(),
+                table.eval_prime_with(&mut scratch, q).to_bits(),
+                "{} q={q}",
+                c.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_path_is_within_contract_at_k256() {
+    for c in policies() {
+        let ctx = PayoffContext::new(c, K).unwrap();
+        let table = GTable::new(c, K).unwrap();
+        let tol = 1e-13 * table.scale();
+        for &q in dense_grid().iter() {
+            let scalar = ctx.g(q).unwrap();
+            let fused = table.eval_fused(q);
+            assert!(
+                (scalar - fused).abs() <= tol,
+                "{} q={q}: scalar {scalar} vs fused {fused}",
+                c.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn interpolation_grid_meets_bound_at_k256() {
+    let table = GTable::new(&Sharing, K).unwrap().with_grid(1e-12).unwrap();
+    assert!(table.grid_error().unwrap() <= 1e-12 * table.scale());
+    let mut scratch = table.scratch();
+    // Sample off the refinement's midpoints.
+    for i in 0..1000 {
+        let q = (i as f64 + 0.31) / 1000.0;
+        let exact = table.eval_with(&mut scratch, q);
+        let interp = table.eval_fast_with(&mut scratch, q);
+        assert!((exact - interp).abs() <= 4.0 * 1e-12, "q={q}: exact {exact} vs interp {interp}");
+    }
+}

@@ -2,11 +2,12 @@
 //! the numerics, the game axioms, and the solver identities.
 
 use dispersal_core::coverage::{coverage, coverage_gradient, miss_mass};
+use dispersal_core::kernel::GTable;
 use dispersal_core::numerics::{
     binomial_pmf, binomial_pmf_vector, kahan_sum, poisson_binomial_pmf,
 };
 use dispersal_core::payoff::PayoffContext;
-use dispersal_core::policy::{Congestion, PowerLaw, Sharing, TwoLevel};
+use dispersal_core::policy::{Congestion, PowerLaw, Sharing, TableCongestion, TwoLevel};
 use dispersal_core::pure::{rosenthal_potential, PureProfile};
 use dispersal_core::strategy::Strategy;
 use dispersal_core::value::ValueProfile;
@@ -15,6 +16,20 @@ use proptest::strategy::Strategy as PropStrategy;
 
 fn values() -> impl PropStrategy<Value = Vec<f64>> {
     proptest::collection::vec(0.1f64..5.0, 2..=10)
+}
+
+/// A random validated (monotone, `C(1) = 1`) congestion table: start at 1
+/// and apply non-negative decrements, which may reach negative values
+/// (aggression) — every table passes `validate_congestion`.
+fn monotone_c_table() -> impl PropStrategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..0.4, 0..=31).prop_map(|decrements| {
+        let mut table = vec![1.0];
+        for d in decrements {
+            let last = *table.last().expect("non-empty");
+            table.push(last - d);
+        }
+        table
+    })
 }
 
 proptest! {
@@ -68,7 +83,7 @@ proptest! {
         let _ = vals;
         let policy = TwoLevel::new(c).unwrap();
         let ctx = PayoffContext::new(&policy, k).unwrap();
-        let g = ctx.g(q);
+        let g = ctx.g(q).unwrap();
         let (lo, hi) = (policy.c(k).min(policy.c(1)), policy.c(1).max(policy.c(k)));
         prop_assert!(g >= lo - 1e-12 && g <= hi + 1e-12, "g({q}) = {g} outside [{lo}, {hi}]");
     }
@@ -77,7 +92,7 @@ proptest! {
     fn g_monotone_decreasing_in_q(k in 2usize..=8, beta in 0.1f64..3.0, q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
         let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         let ctx = PayoffContext::new(&PowerLaw::new(beta).unwrap(), k).unwrap();
-        prop_assert!(ctx.g(lo_q) >= ctx.g(hi_q) - 1e-12);
+        prop_assert!(ctx.g(lo_q).unwrap() >= ctx.g(hi_q).unwrap() - 1e-12);
     }
 
     #[test]
@@ -152,6 +167,51 @@ proptest! {
             "potential not exact: dphi {dphi} vs dpay {}",
             pay_after - pay_before
         );
+    }
+
+    #[test]
+    fn gtable_eval_many_matches_scalar_g(
+        c_table in monotone_c_table(),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..=64),
+    ) {
+        let k = c_table.len();
+        let policy = TableCongestion::new(c_table, "prop").unwrap();
+        let ctx = PayoffContext::new(&policy, k).unwrap();
+        let table = GTable::new(&policy, k).unwrap();
+        let batch = table.eval_many(&qs);
+        for (&q, &batched) in qs.iter().zip(batch.iter()) {
+            let scalar = ctx.g(q).unwrap();
+            prop_assert!(
+                (batched - scalar).abs() <= 1e-13,
+                "k = {k} q = {q}: batched {batched} vs scalar {scalar}"
+            );
+            // The fused throughput path honors the same contract.
+            let fused = table.eval_fused(q);
+            prop_assert!(
+                (fused - scalar).abs() <= 1e-13,
+                "k = {k} q = {q}: fused {fused} vs scalar {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn g_nonincreasing_for_every_monotone_policy(
+        c_table in monotone_c_table(),
+        qs in proptest::collection::vec(0.0f64..=1.0, 2..=64),
+    ) {
+        let k = c_table.len();
+        let policy = TableCongestion::new(c_table, "prop").unwrap();
+        let table = GTable::new(&policy, k).unwrap();
+        let mut sorted = qs;
+        sorted.sort_by(f64::total_cmp);
+        let values = table.eval_many(&sorted);
+        for (w, qw) in values.windows(2).zip(sorted.windows(2)) {
+            prop_assert!(
+                w[1] <= w[0] + 1e-12,
+                "g not nonincreasing at k = {k}: g({}) = {} > g({}) = {}",
+                qw[1], w[1], qw[0], w[0]
+            );
+        }
     }
 
     #[test]

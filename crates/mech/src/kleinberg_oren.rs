@@ -64,7 +64,7 @@ pub fn design_rewards(
         }
     }
     // r(x) = nu / g(p(x)); normalize so r(0) = top_reward.
-    let g0 = ctx.g(target.prob(0));
+    let g0 = ctx.g(target.prob(0))?;
     if g0 <= 0.0 {
         return Err(Error::InvalidArgument(
             "target is too crowded at the top site: its congestion response is non-positive, \
@@ -75,7 +75,7 @@ pub fn design_rewards(
     let nu = top_reward * g0;
     let mut rewards = Vec::with_capacity(m);
     for x in 0..support {
-        let gx = ctx.g(target.prob(x));
+        let gx = ctx.g(target.prob(x))?;
         if gx <= 0.0 {
             return Err(Error::InvalidArgument(format!(
                 "target probability {} at site {x} drives the congestion response non-positive",

@@ -204,6 +204,22 @@ where
         .collect()
 }
 
+/// Evaluate `eval` over `items` in parallel with no randomness involved —
+/// the deterministic sibling of [`par_map_seeded`] for pure computations
+/// (analytic grids, batched kernels), which should not instantiate the
+/// seed-sharding contract just to ignore it. Order-preserving; on failure
+/// an `Err` is returned (the lowest-indexed one under the vendored
+/// sequential-collect pool — registry rayon does not specify which; same
+/// whole-batch caveat as [`par_map_seeded`]).
+pub fn par_map<T, U, F>(items: Vec<T>, eval: F) -> Result<Vec<U>>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> Result<U> + Sync,
+{
+    items.into_par_iter().map(eval).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +326,20 @@ mod tests {
         // Item i sees stream i + 1.
         assert_eq!(a[0], Seed(5).stream(1).gen::<u64>());
         assert_eq!(a[3], Seed(5).stream(4).gen::<u64>());
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_propagates_errors() {
+        let out = par_map((0..100u32).collect(), |x| Ok(x * 2)).unwrap();
+        assert_eq!(out, (0..100u32).map(|x| x * 2).collect::<Vec<_>>());
+        let err = par_map(vec![1u32, 2, 3], |x| {
+            if x == 2 {
+                Err(dispersal_core::Error::InvalidArgument("boom".into()))
+            } else {
+                Ok(x)
+            }
+        });
+        assert!(err.is_err());
     }
 
     #[test]

@@ -59,12 +59,15 @@ impl InvasionReport {
 
 /// One sampled match as an engine [`Experiment`]: per-shard state is the
 /// occupancy/choice scratch; each trial draws a `k`-tuple from the
-/// resident/mutant mixture and records both sides' payoffs.
+/// resident/mutant mixture and records both sides' payoffs via the
+/// precomputed site-major reward matrix `rewards[x·k + ℓ − 1] = f(x)·C(ℓ)`
+/// (one batched setup instead of a value-times-table multiply per player
+/// per trial).
 struct InvasionMc<'a> {
     f: &'a ValueProfile,
     res_sampler: StrategySampler,
     mut_sampler: StrategySampler,
-    c_table: Vec<f64>,
+    rewards: Vec<f64>,
     epsilon: f64,
     k: usize,
 }
@@ -97,7 +100,7 @@ impl Experiment for InvasionMc<'_> {
             *slot = (site, is_mutant);
         }
         for &(site, is_mutant) in &scratch.choices {
-            let payoff = self.f.value(site) * self.c_table[scratch.occupancy[site] - 1];
+            let payoff = self.rewards[site * self.k + scratch.occupancy[site] - 1];
             if is_mutant {
                 mut_acc.push(payoff);
             } else {
@@ -137,7 +140,7 @@ pub fn run_invasion(
         f,
         res_sampler: StrategySampler::new(resident),
         mut_sampler: StrategySampler::new(mutant),
-        c_table: ctx.c_table().to_vec(),
+        rewards: crate::oneshot::reward_matrix(f, ctx.c_table()),
         epsilon: config.epsilon,
         k,
     };

@@ -50,5 +50,5 @@ pub mod prelude {
     };
     pub use crate::rng::Seed;
     pub use crate::stats::{bootstrap_mean_ci, Estimate, Welford};
-    pub use crate::sweep::{sweep_grid, SweepCell};
+    pub use crate::sweep::{response_grid, sweep_grid, ResponseCurve, SweepCell};
 }

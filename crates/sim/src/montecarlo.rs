@@ -4,7 +4,9 @@
 //! [`ShardPlan`], each shard derives its own deterministic RNG stream from
 //! the master seed, and per-shard [`Welford`] accumulators merge in shard
 //! order — so results are bit-reproducible regardless of thread count or
-//! scheduling.
+//! scheduling. All per-trial congestion arithmetic is precomputed into the
+//! per-shard [`OneShotGame`] state (a site × occupancy reward matrix), so
+//! the trial step is pure sampling plus table lookups.
 
 use crate::engine::{self, Experiment, ShardPlan};
 use crate::oneshot::OneShotGame;

@@ -31,12 +31,28 @@ pub struct Outcome {
 }
 
 /// A reusable one-shot game simulator for a fixed `(f, C, k)` and symmetric
-/// strategy. Precomputes the alias sampler and payoff table.
+/// strategy. Precomputes the alias sampler and the full `M × k` reward
+/// matrix `f(x)·C(ℓ)`, so the per-trial step is pure sampling plus table
+/// lookups — no multiplies against the congestion table, no virtual
+/// dispatch. Built once per engine shard (see `crate::engine::Experiment`)
+/// and reused across every trial of that shard.
 pub struct OneShotGame<'a> {
     f: &'a ValueProfile,
-    ctx: PayoffContext,
+    /// Site-major reward matrix: `rewards[x * k + (ℓ − 1)] = f(x)·C(ℓ)`.
+    rewards: Vec<f64>,
     samplers: Vec<StrategySampler>,
     occupancy: Vec<usize>,
+}
+
+/// Flatten `f(x)·C(ℓ)` into the site-major lookup used by the per-trial
+/// fast paths (`rewards[x * k + (ℓ − 1)]`); shared with the invasion
+/// experiment so the layout contract lives in one place.
+pub(crate) fn reward_matrix(f: &ValueProfile, c_table: &[f64]) -> Vec<f64> {
+    let mut rewards = Vec::with_capacity(f.len() * c_table.len());
+    for &fx in f.values() {
+        rewards.extend(c_table.iter().map(|&c| fx * c));
+    }
+    rewards
 }
 
 impl<'a> OneShotGame<'a> {
@@ -52,7 +68,12 @@ impl<'a> OneShotGame<'a> {
         }
         let ctx = PayoffContext::new(c, k)?;
         let sampler = StrategySampler::new(strategy);
-        Ok(Self { f, ctx, samplers: vec![sampler; k], occupancy: vec![0; f.len()] })
+        Ok(Self {
+            f,
+            rewards: reward_matrix(f, ctx.c_table()),
+            samplers: vec![sampler; k],
+            occupancy: vec![0; f.len()],
+        })
     }
 
     /// Build an asymmetric game: player `i` uses `profile[i]`.
@@ -70,8 +91,13 @@ impl<'a> OneShotGame<'a> {
             }
         }
         let ctx = PayoffContext::new(c, profile.len())?;
-        let samplers = profile.iter().map(StrategySampler::new).collect();
-        Ok(Self { f, ctx, samplers, occupancy: vec![0; f.len()] })
+        let samplers: Vec<StrategySampler> = profile.iter().map(StrategySampler::new).collect();
+        Ok(Self {
+            f,
+            rewards: reward_matrix(f, ctx.c_table()),
+            samplers,
+            occupancy: vec![0; f.len()],
+        })
     }
 
     /// Number of players.
@@ -91,11 +117,8 @@ impl<'a> OneShotGame<'a> {
             self.occupancy[site] += 1;
             choices.push(site);
         }
-        let c_table = self.ctx.c_table();
-        let payoffs: Vec<f64> = choices
-            .iter()
-            .map(|&site| self.f.value(site) * c_table[self.occupancy[site] - 1])
-            .collect();
+        let payoffs: Vec<f64> =
+            choices.iter().map(|&site| self.rewards[site * k + self.occupancy[site] - 1]).collect();
         let mut coverage = 0.0;
         let mut collision_sites = 0;
         let mut colliding_players = 0;
@@ -136,7 +159,8 @@ impl<'a> OneShotGame<'a> {
                 coverage += self.f.value(site);
             }
         }
-        let payoff0 = self.f.value(first_site) * self.ctx.c_table()[self.occupancy[first_site] - 1];
+        let payoff0 =
+            self.rewards[first_site * self.samplers.len() + self.occupancy[first_site] - 1];
         (coverage, payoff0)
     }
 }

@@ -12,6 +12,7 @@
 //! re-projection guard each step.
 
 use crate::engine;
+use dispersal_core::kernel::GScratch;
 use dispersal_core::payoff::PayoffContext;
 use dispersal_core::policy::Congestion;
 use dispersal_core::strategy::Strategy;
@@ -55,10 +56,22 @@ pub struct ReplicatorRun {
 }
 
 /// The replicator vector field `ẋ_i = x_i (π_i − π̄)`.
-fn velocity(ctx: &PayoffContext, f: &ValueProfile, x: &[f64], out: &mut [f64]) {
+///
+/// All `g_C` evaluations run through the batched kernel with a reusable
+/// scratch: four velocity calls per RK4 step over `M` sites used to pay
+/// `4M` PMF setups (and allocations) per step; now the per-point cost is
+/// the `O(k)` ratio recurrence alone, with bit-identical values.
+fn velocity(
+    ctx: &PayoffContext,
+    scratch: &mut GScratch,
+    f: &ValueProfile,
+    x: &[f64],
+    out: &mut [f64],
+) {
+    let kernel = ctx.kernel();
     let mut mean_fitness = 0.0;
     for (i, &xi) in x.iter().enumerate() {
-        let fit = f.value(i) * ctx.g(xi.clamp(0.0, 1.0));
+        let fit = f.value(i) * kernel.eval_with(scratch, xi.clamp(0.0, 1.0));
         out[i] = fit;
         mean_fitness += xi * fit;
     }
@@ -83,6 +96,7 @@ pub fn run_replicator(
         return Err(Error::InvalidArgument(format!("dt must be positive, got {}", config.dt)));
     }
     let ctx = PayoffContext::new(c, k)?;
+    let mut scratch = ctx.kernel().scratch();
     let m = f.len();
     let mut x: Vec<f64> = start.probs().to_vec();
     let mut k1 = vec![0.0; m];
@@ -96,19 +110,19 @@ pub fn run_replicator(
     let mut steps = 0usize;
     for step in 0..config.max_steps {
         steps = step + 1;
-        velocity(&ctx, f, &x, &mut k1);
+        velocity(&ctx, &mut scratch, f, &x, &mut k1);
         for i in 0..m {
             tmp[i] = x[i] + 0.5 * config.dt * k1[i];
         }
-        velocity(&ctx, f, &tmp, &mut k2);
+        velocity(&ctx, &mut scratch, f, &tmp, &mut k2);
         for i in 0..m {
             tmp[i] = x[i] + 0.5 * config.dt * k2[i];
         }
-        velocity(&ctx, f, &tmp, &mut k3);
+        velocity(&ctx, &mut scratch, f, &tmp, &mut k3);
         for i in 0..m {
             tmp[i] = x[i] + config.dt * k3[i];
         }
-        velocity(&ctx, f, &tmp, &mut k4);
+        velocity(&ctx, &mut scratch, f, &tmp, &mut k4);
         for i in 0..m {
             x[i] += config.dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
         }

@@ -4,6 +4,8 @@
 //! [`engine::par_map_seeded`](crate::engine::par_map_seeded).
 
 use crate::engine;
+use dispersal_core::kernel::GTable;
+use dispersal_core::policy::Congestion;
 use dispersal_core::value::ValueProfile;
 use dispersal_core::{Error, Result};
 use rand_chacha::ChaCha8Rng;
@@ -43,10 +45,48 @@ where
     })
 }
 
+/// One congestion-response curve from [`response_grid`]: `g[i] = g_C(qs[i])`
+/// for player count `k`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResponseCurve {
+    /// Player count the curve was evaluated for.
+    pub k: usize,
+    /// The uniform evaluation grid over `[0, 1]`.
+    pub qs: Vec<f64>,
+    /// The congestion response at each grid point.
+    pub g: Vec<f64>,
+}
+
+/// Evaluate the congestion response `g_C` of one policy over a dense
+/// uniform `q`-grid for every `k` in `ks`, in parallel (one worker per
+/// `k`). Each worker batches its whole grid through a single
+/// [`GTable`] — one `O(k)` kernel setup per curve instead of one per
+/// point — which is what makes sweeping `resolution = 10⁴`-point grids at
+/// `k = 256` cheap.
+pub fn response_grid(
+    c: &dyn Congestion,
+    ks: &[usize],
+    resolution: usize,
+) -> Result<Vec<ResponseCurve>> {
+    if ks.is_empty() {
+        return Err(Error::InvalidArgument("response grid needs at least one k".into()));
+    }
+    if resolution == 0 {
+        return Err(Error::InvalidArgument("response grid resolution must be >= 1".into()));
+    }
+    let qs: Vec<f64> = (0..=resolution).map(|i| i as f64 / resolution as f64).collect();
+    engine::par_map(ks.to_vec(), |k| {
+        let table = GTable::new(c, k)?;
+        Ok(ResponseCurve { k, qs: qs.clone(), g: table.eval_many(&qs) })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dispersal_core::optimal::optimal_coverage;
+    use dispersal_core::payoff::PayoffContext;
+    use dispersal_core::policy::Sharing;
 
     fn instances() -> Vec<(String, ValueProfile)> {
         vec![
@@ -90,6 +130,26 @@ mod tests {
         let cells: Result<Vec<SweepCell<f64>>> =
             sweep_grid(&instances(), &[], 1, |_, _, _| Ok(0.0));
         assert!(cells.is_err());
+    }
+
+    #[test]
+    fn response_grid_matches_scalar_reference() {
+        let curves = response_grid(&Sharing, &[2, 8, 33], 64).unwrap();
+        assert_eq!(curves.len(), 3);
+        for curve in &curves {
+            assert_eq!(curve.qs.len(), 65);
+            let ctx = PayoffContext::new(&Sharing, curve.k).unwrap();
+            for (&q, &g) in curve.qs.iter().zip(curve.g.iter()) {
+                assert_eq!(g.to_bits(), ctx.g(q).unwrap().to_bits(), "k = {} q = {q}", curve.k);
+            }
+        }
+    }
+
+    #[test]
+    fn response_grid_validates() {
+        assert!(response_grid(&Sharing, &[], 10).is_err());
+        assert!(response_grid(&Sharing, &[2], 0).is_err());
+        assert!(response_grid(&Sharing, &[0], 10).is_err());
     }
 
     #[test]

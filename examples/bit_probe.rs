@@ -1,0 +1,63 @@
+//! Reproducibility probe: prints the raw bit patterns of representative
+//! analytic (IFD, replicator) and stochastic (Monte-Carlo, invasion)
+//! outputs. Capture its output before and after any numerics or engine
+//! refactor (and across `RAYON_NUM_THREADS` settings) and `diff` — the
+//! workspace's determinism contract says every line must be identical.
+
+use dispersal_core::ifd::solve_ifd;
+use dispersal_core::policy::{Exclusive, PowerLaw, Sharing, TwoLevel};
+use dispersal_core::strategy::Strategy;
+use dispersal_core::value::ValueProfile;
+use dispersal_sim::invasion::{run_invasion, InvasionConfig};
+use dispersal_sim::montecarlo::{estimate_symmetric, McConfig};
+use dispersal_sim::replicator::{run_replicator, ReplicatorConfig};
+
+fn main() {
+    let f = ValueProfile::zipf(12, 1.0, 0.9).unwrap();
+    for k in [2usize, 5, 17] {
+        for (name, c) in [
+            ("exclusive", &Exclusive as &dyn dispersal_core::policy::Congestion),
+            ("sharing", &Sharing),
+            ("twolevel", &TwoLevel { c: -0.4 }),
+            ("powerlaw", &PowerLaw { beta: 2.0 }),
+        ] {
+            let ifd = solve_ifd(c, &f, k).unwrap();
+            println!("ifd {name} k={k} value={:016x}", ifd.value.to_bits());
+            for x in 0..3 {
+                println!("ifd {name} k={k} p{x}={:016x}", ifd.strategy.prob(x).to_bits());
+            }
+        }
+    }
+    let start = Strategy::from_weights((1..=12).map(|i| i as f64).collect()).unwrap();
+    let run = run_replicator(
+        &Sharing,
+        &f,
+        &start,
+        4,
+        ReplicatorConfig { max_steps: 5_000, ..Default::default() },
+    )
+    .unwrap();
+    for x in 0..12 {
+        println!("repl p{x}={:016x}", run.state.prob(x).to_bits());
+    }
+    println!("repl steps={} vel={:016x}", run.steps, run.final_velocity.to_bits());
+    let p = Strategy::proportional(f.values()).unwrap();
+    let mc =
+        estimate_symmetric(&f, &Sharing, &p, 6, McConfig { trials: 50_000, seed: 42, shards: 16 })
+            .unwrap();
+    println!("mc cov={:016x} pay={:016x}", mc.coverage.mean.to_bits(), mc.payoff.mean.to_bits());
+    let inv = run_invasion(
+        &Exclusive,
+        &f,
+        &p,
+        &Strategy::uniform(12).unwrap(),
+        3,
+        InvasionConfig { epsilon: 0.1, matches: 50_000, seed: 7, shards: 8 },
+    )
+    .unwrap();
+    println!(
+        "inv adv={:016x} analytic={:016x}",
+        inv.advantage.to_bits(),
+        inv.analytic_advantage.to_bits()
+    );
+}
