@@ -73,6 +73,12 @@ pub enum Error {
         /// The rejected probability.
         q: f64,
     },
+    /// A caller-supplied numerical tolerance was non-positive or
+    /// non-finite (grid refinement bounds, agreement thresholds).
+    InvalidTolerance {
+        /// The rejected tolerance.
+        tol: f64,
+    },
     /// Generic invalid argument.
     InvalidArgument(String),
     /// An I/O operation failed (experiment output, result files). Stores
@@ -126,6 +132,9 @@ impl fmt::Display for Error {
             Error::ProbabilityOutOfRange { q } => {
                 write!(out, "probability {q} is outside [0, 1] beyond tolerance")
             }
+            Error::InvalidTolerance { tol } => {
+                write!(out, "tolerance must be positive and finite, got {tol}")
+            }
             Error::InvalidArgument(msg) => write!(out, "invalid argument: {msg}"),
             Error::Io(msg) => write!(out, "I/O error: {msg}"),
         }
@@ -156,6 +165,7 @@ mod tests {
             Error::DegeneratePolicy,
             Error::NoConvergence { what: "ifd", residual: 1e-3 },
             Error::ProbabilityOutOfRange { q: 1.5 },
+            Error::InvalidTolerance { tol: -1e-9 },
             Error::InvalidArgument("x".into()),
             Error::Io("disk full".into()),
         ];

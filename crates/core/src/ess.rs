@@ -10,8 +10,24 @@
 //! Poisson–binomial payoff evaluator) for any finite set of candidate
 //! mutants, and estimates the invasion barrier `ε_π` from the
 //! population-mixture payoff of Eq. (3).
+//!
+//! ## Kernel-backed evaluation
+//!
+//! The ledger payoffs `E(·; σ^{k−ℓ−1}, π^ℓ)` only ever differ between
+//! levels by *one opponent switching strategies*, so the per-site
+//! Poisson–binomial law at level `ℓ+1` is a rank-one update of the one at
+//! level `ℓ`. [`LedgerEvaluator`] exploits this through
+//! [`crate::kernel::PbTable`]: the all-resident baseline tables are built
+//! once (shared across equal-`σ(x)` sites via
+//! [`crate::kernel::PbCache`], and across *every mutant probed*), and
+//! each ledger level is one `O(k)` [`crate::kernel::PbTable::replace`]
+//! per site instead of a fresh `O(k²)` DP — an `O(k)` total speedup that
+//! is what makes the tier-2 large-`k` theorem tests affordable. Level 0
+//! remains bit-identical to the pre-kernel per-site DP path; rank-updated
+//! levels agree to `O(k·ε)` (≈ 1e-13 at `k = 256`, checked in CI).
 
 use crate::error::{Error, Result};
+use crate::kernel::{PbCache, PbTable};
 use crate::payoff::PayoffContext;
 use crate::policy::Congestion;
 use crate::strategy::Strategy;
@@ -58,8 +74,122 @@ pub struct EssLedger {
     pub mutant: Vec<f64>,
 }
 
+/// Resident-anchored ledger evaluator: owns the per-site Poisson–binomial
+/// tables for the all-resident opponent profile `{σ(x)}^{k−1}` and walks
+/// ledger levels by `O(k)` rank updates ([`PbTable::replace`]) instead of
+/// rebuilding the `O(k²)` DP per site per level.
+///
+/// Construction costs one DP per *distinct* `σ(x)` value (shared via
+/// [`PbCache`]); [`Self::ledger`] then costs `O(M·k²)` total for a full
+/// `k`-level ledger — the pre-kernel path paid `O(M·k³)`. Build one
+/// evaluator per resident and reuse it across every mutant probed
+/// ([`probe_ess_k`] does exactly this).
+#[derive(Debug, Clone)]
+pub struct LedgerEvaluator<'a> {
+    ctx: &'a PayoffContext,
+    f: &'a ValueProfile,
+    sigma: &'a Strategy,
+    /// Per-site baseline tables for the profile `{σ(x)}^{k−1}`.
+    base: Vec<PbTable>,
+}
+
+impl<'a> LedgerEvaluator<'a> {
+    /// Build the baseline tables for resident `sigma` (requires `k ≥ 2`).
+    pub fn new(ctx: &'a PayoffContext, f: &'a ValueProfile, sigma: &'a Strategy) -> Result<Self> {
+        let k = ctx.k();
+        if k < 2 {
+            return Err(Error::InvalidPlayerCount { k });
+        }
+        if f.len() != sigma.len() {
+            return Err(Error::DimensionMismatch { strategy: sigma.len(), profile: f.len() });
+        }
+        let mut cache = PbCache::new();
+        let mut profile = vec![0.0; k - 1];
+        let mut base = Vec::with_capacity(f.len());
+        for x in 0..f.len() {
+            profile.fill(sigma.prob(x));
+            base.push(cache.table(&profile)?.clone());
+        }
+        Ok(Self { ctx, f, sigma, base })
+    }
+
+    /// The resident this evaluator is anchored on.
+    #[inline]
+    pub fn resident(&self) -> &Strategy {
+        self.sigma
+    }
+
+    /// Compute the full per-level payoff ledger against mutant `pi`.
+    ///
+    /// Level 0 is evaluated on the cloned baseline tables (bit-identical
+    /// to the exact per-site DP); each subsequent level replaces one
+    /// `σ(x)` factor with `π(x)` per site. Both ledger columns share the
+    /// per-site expectation `E[C(1 + N_x)]` — the resident and mutant
+    /// face the *same* opponent law, they only weight sites differently.
+    pub fn ledger(&self, pi: &Strategy) -> Result<EssLedger> {
+        if pi.len() != self.f.len() {
+            return Err(Error::DimensionMismatch { strategy: pi.len(), profile: self.f.len() });
+        }
+        let k = self.ctx.k();
+        let c_table = self.ctx.c_table();
+        let mut tables = self.base.clone();
+        let mut resident = Vec::with_capacity(k);
+        let mut mutant = Vec::with_capacity(k);
+        for ell in 0..k {
+            if ell > 0 {
+                for (x, table) in tables.iter_mut().enumerate() {
+                    table.replace(self.sigma.prob(x), pi.prob(x))?;
+                }
+            }
+            let mut res_acc = 0.0;
+            let mut mut_acc = 0.0;
+            for (x, table) in tables.iter().enumerate() {
+                let sx = self.sigma.prob(x);
+                let px = pi.prob(x);
+                if sx == 0.0 && px == 0.0 {
+                    continue;
+                }
+                let expected_c = table.expectation(c_table);
+                if sx != 0.0 {
+                    res_acc += sx * self.f.value(x) * expected_c;
+                }
+                if px != 0.0 {
+                    mut_acc += px * self.f.value(x) * expected_c;
+                }
+            }
+            resident.push(res_acc);
+            mutant.push(mut_acc);
+        }
+        Ok(EssLedger { resident, mutant })
+    }
+
+    /// Apply the ESS characterization to one mutant (ledger + verdict).
+    pub fn check(&self, pi: &Strategy) -> Result<MutantVerdict> {
+        Ok(verdict_from_ledger(&self.ledger(pi)?))
+    }
+}
+
 /// Compute the full ESS ledger for resident `sigma` against mutant `pi`.
+///
+/// One-shot convenience over [`LedgerEvaluator`]; probing many mutants
+/// against one resident should build the evaluator once instead.
 pub fn ess_ledger(
+    ctx: &PayoffContext,
+    f: &ValueProfile,
+    sigma: &Strategy,
+    pi: &Strategy,
+) -> Result<EssLedger> {
+    LedgerEvaluator::new(ctx, f, sigma)?.ledger(pi)
+}
+
+/// The pre-kernel scalar ledger: a fresh per-site Poisson–binomial DP
+/// per level per column, `O(M·k³)` total. Kept as the single equivalence
+/// baseline shared by the core tests, the `kernel_equivalence` CI smoke,
+/// and `benches/ess.rs` (the `BENCH_ess.json` speedups are measured
+/// against exactly this); hidden because production callers should use
+/// [`ess_ledger`].
+#[doc(hidden)]
+pub fn reference_ledger(
     ctx: &PayoffContext,
     f: &ValueProfile,
     sigma: &Strategy,
@@ -69,14 +199,53 @@ pub fn ess_ledger(
     if k < 2 {
         return Err(Error::InvalidPlayerCount { k });
     }
-    let mut resident = Vec::with_capacity(k);
-    let mut mutant = Vec::with_capacity(k);
-    for ell in 0..k {
-        let a = k - 1 - ell; // sigma-playing opponents
-        resident.push(ctx.ess_payoff(f, sigma, sigma, a, pi, ell)?);
-        mutant.push(ctx.ess_payoff(f, pi, sigma, a, pi, ell)?);
+    if f.len() != sigma.len() {
+        return Err(Error::DimensionMismatch { strategy: sigma.len(), profile: f.len() });
     }
-    Ok(EssLedger { resident, mutant })
+    if f.len() != pi.len() {
+        return Err(Error::DimensionMismatch { strategy: pi.len(), profile: f.len() });
+    }
+    let payoff = |rho: &Strategy, ell: usize| {
+        let mut total = 0.0;
+        for x in 0..f.len() {
+            let rx = rho.prob(x);
+            if rx == 0.0 {
+                continue;
+            }
+            let mut profile = vec![sigma.prob(x); k - 1 - ell];
+            profile.extend(std::iter::repeat_n(pi.prob(x), ell));
+            let pmf = crate::numerics::poisson_binomial_pmf(&profile);
+            let expected_c = crate::numerics::kahan_sum(
+                pmf.iter().zip(ctx.c_table().iter()).map(|(p, c)| p * c),
+            );
+            total += rx * f.value(x) * expected_c;
+        }
+        total
+    };
+    Ok(EssLedger {
+        resident: (0..k).map(|ell| payoff(sigma, ell)).collect(),
+        mutant: (0..k).map(|ell| payoff(pi, ell)).collect(),
+    })
+}
+
+/// Derive the characterization verdict from a computed ledger.
+fn verdict_from_ledger(ledger: &EssLedger) -> MutantVerdict {
+    let scale = ledger
+        .resident
+        .iter()
+        .chain(ledger.mutant.iter())
+        .fold(0.0f64, |acc, v| acc.max(v.abs()))
+        .max(1.0);
+    for (ell, (res, mu)) in ledger.resident.iter().zip(ledger.mutant.iter()).enumerate() {
+        let diff = res - mu;
+        if diff > ESS_TOL * scale {
+            return MutantVerdict::Repelled { m: ell, margin: diff };
+        }
+        if diff < -ESS_TOL * scale {
+            return MutantVerdict::Invades { level: ell, deficit: -diff };
+        }
+    }
+    MutantVerdict::Indistinguishable
 }
 
 /// Apply the ESS characterization to one mutant.
@@ -86,23 +255,7 @@ pub fn check_mutant(
     sigma: &Strategy,
     pi: &Strategy,
 ) -> Result<MutantVerdict> {
-    let ledger = ess_ledger(ctx, f, sigma, pi)?;
-    let scale = ledger
-        .resident
-        .iter()
-        .chain(ledger.mutant.iter())
-        .fold(0.0f64, |acc, v| acc.max(v.abs()))
-        .max(1.0);
-    for ell in 0..ctx.k() {
-        let diff = ledger.resident[ell] - ledger.mutant[ell];
-        if diff > ESS_TOL * scale {
-            return Ok(MutantVerdict::Repelled { m: ell, margin: diff });
-        }
-        if diff < -ESS_TOL * scale {
-            return Ok(MutantVerdict::Invades { level: ell, deficit: -diff });
-        }
-    }
-    Ok(MutantVerdict::Indistinguishable)
+    Ok(verdict_from_ledger(&ess_ledger(ctx, f, sigma, pi)?))
 }
 
 /// Report from probing a candidate ESS with many mutants.
@@ -172,12 +325,15 @@ pub fn probe_ess_k<R: Rng + ?Sized>(
         invasions: Vec::new(),
         worst_margin: f64::INFINITY,
     };
+    // One evaluator for the whole probe: the resident-only baseline DP
+    // tables are built once and shared across every mutant below.
+    let evaluator = LedgerEvaluator::new(&ctx, f, sigma)?;
     for (idx, pi) in mutants.iter().enumerate() {
         if pi.linf_distance(sigma)? < 1e-12 {
             continue;
         }
         report.mutants_tested += 1;
-        match check_mutant(&ctx, f, sigma, pi)? {
+        match evaluator.check(pi)? {
             MutantVerdict::Repelled { margin, .. } => {
                 report.repelled += 1;
                 report.worst_margin = report.worst_margin.min(margin);
@@ -196,6 +352,11 @@ pub fn probe_ess_k<R: Rng + ?Sized>(
 /// the resident strictly out-earns the mutant in every population mixture
 /// with mutant share `ε' ≤ ε` (Eq. 3). Returns 0 when the mutant invades
 /// immediately.
+///
+/// Each grid point evaluates the mixture field **once** through
+/// [`PayoffContext::mixture_advantage`] (both payoffs dot the same
+/// `ν_μ` vector) — bit-identical to the two-`mixture_payoff`
+/// formulation at less than half its work.
 pub fn invasion_barrier(
     ctx: &PayoffContext,
     f: &ValueProfile,
@@ -206,15 +367,16 @@ pub fn invasion_barrier(
     if grid < 2 {
         return Err(Error::InvalidArgument("invasion barrier grid must be >= 2".into()));
     }
-    let advantage = |eps: f64| -> Result<f64> {
-        let u_sigma = ctx.mixture_payoff(f, sigma, sigma, pi, eps)?;
-        let u_pi = ctx.mixture_payoff(f, pi, sigma, pi, eps)?;
-        Ok(u_sigma - u_pi)
-    };
+    if sigma.len() != f.len() {
+        return Err(Error::DimensionMismatch { strategy: sigma.len(), profile: f.len() });
+    }
+    if pi.len() != f.len() {
+        return Err(Error::DimensionMismatch { strategy: pi.len(), profile: f.len() });
+    }
     let mut last_good = 0.0;
     for i in 1..=grid {
         let eps = i as f64 / grid as f64;
-        if advantage(eps)? > 0.0 {
+        if ctx.mixture_advantage(f, sigma, pi, eps)? > 0.0 {
             last_good = eps;
         } else {
             break;
@@ -240,6 +402,92 @@ mod tests {
         let ledger = ess_ledger(&ctx, &f, &s, &pi).unwrap();
         assert_eq!(ledger.resident.len(), 3);
         assert_eq!(ledger.mutant.len(), 3);
+    }
+
+    #[test]
+    fn ledger_matches_pre_kernel_reference() {
+        for (f, k) in [
+            (ValueProfile::new(vec![1.0, 0.5]).unwrap(), 2usize),
+            (ValueProfile::zipf(6, 1.0, 1.0).unwrap(), 5),
+            (ValueProfile::geometric(8, 1.0, 0.6).unwrap(), 9),
+        ] {
+            let ctx = PayoffContext::new(&Exclusive, k).unwrap();
+            let sigma = sigma_star(&f, k).unwrap().strategy;
+            let pi = Strategy::uniform(f.len()).unwrap();
+            let fast = ess_ledger(&ctx, &f, &sigma, &pi).unwrap();
+            let reference = reference_ledger(&ctx, &f, &sigma, &pi).unwrap();
+            // Level 0 runs on the exact DP tables: bit-identical.
+            assert_eq!(fast.resident[0].to_bits(), reference.resident[0].to_bits(), "k = {k}");
+            assert_eq!(fast.mutant[0].to_bits(), reference.mutant[0].to_bits(), "k = {k}");
+            // Rank-updated levels: within the 1e-12 agreement contract.
+            for ell in 0..k {
+                assert!(
+                    (fast.resident[ell] - reference.resident[ell]).abs() <= 1e-12,
+                    "k = {k} resident level {ell}: {} vs {}",
+                    fast.resident[ell],
+                    reference.resident[ell]
+                );
+                assert!(
+                    (fast.mutant[ell] - reference.mutant[ell]).abs() <= 1e-12,
+                    "k = {k} mutant level {ell}: {} vs {}",
+                    fast.mutant[ell],
+                    reference.mutant[ell]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_reuse_matches_one_shot_path() {
+        let f = ValueProfile::zipf(5, 1.0, 1.0).unwrap();
+        let k = 4;
+        let ctx = PayoffContext::new(&Exclusive, k).unwrap();
+        let sigma = sigma_star(&f, k).unwrap().strategy;
+        let evaluator = LedgerEvaluator::new(&ctx, &f, &sigma).unwrap();
+        assert_eq!(evaluator.resident().probs(), sigma.probs());
+        for pi in [
+            Strategy::uniform(5).unwrap(),
+            Strategy::delta(5, 2).unwrap(),
+            Strategy::proportional(f.values()).unwrap(),
+        ] {
+            let a = evaluator.ledger(&pi).unwrap();
+            let b = ess_ledger(&ctx, &f, &sigma, &pi).unwrap();
+            for (x, y) in a.resident.iter().zip(b.resident.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in a.mutant.iter().zip(b.mutant.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(evaluator.check(&pi).unwrap(), check_mutant(&ctx, &f, &sigma, &pi).unwrap());
+        }
+        // Dimension mismatches are rejected at both entry points.
+        let wrong = Strategy::uniform(3).unwrap();
+        assert!(evaluator.ledger(&wrong).is_err());
+        assert!(LedgerEvaluator::new(&ctx, &f, &wrong).is_err());
+    }
+
+    #[test]
+    fn invasion_barrier_matches_mixture_payoff_formulation() {
+        let f = ValueProfile::new(vec![1.0, 0.6, 0.2]).unwrap();
+        let k = 3;
+        let ctx = PayoffContext::new(&Exclusive, k).unwrap();
+        let star = sigma_star(&f, k).unwrap().strategy;
+        let pi = Strategy::uniform(3).unwrap();
+        let grid = 64;
+        let fast = invasion_barrier(&ctx, &f, &star, &pi, grid).unwrap();
+        // Pre-kernel formulation: two mixture payoffs per grid point.
+        let mut reference = 0.0;
+        for i in 1..=grid {
+            let eps = i as f64 / grid as f64;
+            let u_sigma = ctx.mixture_payoff(&f, &star, &star, &pi, eps).unwrap();
+            let u_pi = ctx.mixture_payoff(&f, &pi, &star, &pi, eps).unwrap();
+            if u_sigma - u_pi > 0.0 {
+                reference = eps;
+            } else {
+                break;
+            }
+        }
+        assert_eq!(fast.to_bits(), reference.to_bits());
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub struct Ifd {
 ///
 /// Runs through the batched kernel with a caller-owned scratch: the inner
 /// bisection evaluates `g` 64 times per site per outer step, so the
-/// allocation-free `O(k)` path matters here.
+/// allocation-free `O(k)` path matters here. Contexts carrying an
+/// interpolation grid ([`PayoffContext::with_grid`]) drop that to `O(1)`
+/// per evaluation — the large-`k` regime path; without a grid
+/// `eval_fast_with` falls back to the exact kernel bit-identically.
 fn invert_g(ctx: &PayoffContext, scratch: &mut GScratch, target: f64) -> f64 {
     let kernel = ctx.kernel();
     if target >= kernel.at_zero() {
@@ -55,7 +58,7 @@ fn invert_g(ctx: &PayoffContext, scratch: &mut GScratch, target: f64) -> f64 {
         return 1.0;
     }
     crate::numerics::bisect_decreasing(
-        |q| kernel.eval_with(scratch, q),
+        |q| kernel.eval_fast_with(scratch, q),
         0.0,
         1.0,
         target,

@@ -37,10 +37,34 @@
 //! The degree-raising view: `b_{j,n}` satisfies the ratio recurrence
 //! `b_{j+1,n}(q) = b_{j,n}(q)·(n−j)/(j+1)·q/(1−q)`, which walks the whole
 //! Bernstein row from a single seeded term without touching a factorial.
+//!
+//! ## The heterogeneous sibling: [`PbTable`]
+//!
+//! `GTable` covers the *symmetric* case — every opponent visits with the
+//! same probability `q`, so the occupancy is binomial. The ESS conditions
+//! need the *heterogeneous* case: the number of opponents at a site is
+//! Poisson–binomial over a profile `(p₁, …, p_{k−1})` of per-opponent
+//! visit probabilities. [`PbTable`] hoists that work the same way:
+//!
+//! * **Setup, once per profile equivalence class, `O(k²)`** — the exact
+//!   convolution DP of [`crate::numerics::poisson_binomial_pmf`], built
+//!   incrementally by [`PbTable::push`] (bit-identical to the one-shot
+//!   DP); [`PbCache`] keys finished tables by the *sorted* probability
+//!   multiset so every site (and every mutant probe) sharing an opponent
+//!   profile reuses one table.
+//! * **Rank update, `O(k)`** — [`PbTable::remove`] deconvolves one
+//!   Bernoulli factor (direction-chosen backward/forward recurrence, both
+//!   contractive), and [`PbTable::replace`] swaps one opponent's
+//!   probability. Walking an ESS ledger level `ℓ → ℓ+1` is one `replace`
+//!   per site class instead of a fresh `O(k²)` DP.
+//! * **Per query, `O(k)`, allocation-free** — [`PbTable::expectation`]
+//!   dots the PMF against a coefficient table with the same Kahan
+//!   accumulation as the scalar reference.
 
 use crate::error::{Error, Result};
-use crate::numerics::kahan_sum;
+use crate::numerics::{convolve_bernoulli, kahan_sum};
 use crate::policy::Congestion;
+use std::collections::HashMap;
 
 /// Caller-owned scratch buffer for allocation-free kernel evaluation.
 ///
@@ -348,20 +372,28 @@ impl GTable {
     /// answers in `O(1)` per point. The grid is refined (doubling the
     /// cell count) until the error *measured at every cell midpoint* —
     /// where the Hermite error kernel `t²(1−t)²` peaks — is at most
-    /// `tol × `[`Self::scale`]. Fails with [`Error::NoConvergence`] if
-    /// 2²⁰ cells cannot meet the bound.
+    /// `tol × `[`Self::scale`]. The tolerance is per-call: sweeps and
+    /// plotting paths typically pass `1e-9` (cheap grids), equivalence
+    /// tests `1e-12`. Rejects non-finite or non-positive tolerances with
+    /// [`Error::InvalidTolerance`]; fails with [`Error::NoConvergence`]
+    /// if 2²⁰ cells cannot meet the bound (at `k ≳ 10⁴` the Hermite
+    /// error floor makes `1e-12` unreachable — use a looser tolerance
+    /// there).
     pub fn with_grid(mut self, tol: f64) -> Result<Self> {
         if !(tol.is_finite() && tol > 0.0) {
-            return Err(Error::InvalidArgument(format!(
-                "grid tolerance must be positive and finite, got {tol}"
-            )));
+            return Err(Error::InvalidTolerance { tol });
         }
         let target = tol * self.scale();
         let mut scratch = self.scratch();
-        // Start near the analytic requirement h·n ≲ (384·tol)^{1/4} and
-        // refine on measurement.
+        // Start near the analytic requirement h·n ≲ (384·tol)^{1/4} (the
+        // uniform-Hermite error bound with |g''''| ≲ n⁴·scale), capped at
+        // the legacy 16·(n+1) start so tight-tolerance grids behave
+        // exactly as before; loose tolerances (the large-k regime) start
+        // far coarser and the measured refinement below guards them.
         let n = self.coeffs.len() - 1;
-        let mut cells = (16 * (n + 1)).next_power_of_two().max(64);
+        let analytic = (n.max(1) as f64) * (384.0 * tol).powf(-0.25);
+        let legacy = (16 * (n + 1)) as f64;
+        let mut cells = (analytic.min(legacy).max(64.0) as usize).next_power_of_two();
         const MAX_CELLS: usize = 1 << 20;
         loop {
             let nodes = cells + 1;
@@ -437,6 +469,267 @@ impl GTable {
             }
             None => self.eval_many_with(scratch, qs, out),
         }
+    }
+}
+
+/// Normalize a visit probability for table membership: reject non-finite
+/// or genuinely out-of-range values, clamp round-off into `[0, 1]`, and
+/// canonicalize `-0.0` to `0.0` so bit-keyed lookups are stable.
+fn normalize_prob(p: f64) -> Result<f64> {
+    if !p.is_finite() || !(-1e-12..=1.0 + 1e-12).contains(&p) {
+        return Err(Error::ProbabilityOutOfRange { q: p });
+    }
+    let p = p.clamp(0.0, 1.0);
+    Ok(if p == 0.0 { 0.0 } else { p })
+}
+
+/// Exact Poisson–binomial evaluation table over a mutable multiset of
+/// Bernoulli visit probabilities — the heterogeneous sibling of
+/// [`GTable`].
+///
+/// Holds the PMF of `Σ_i Bernoulli(pᵢ)` for the probabilities currently
+/// in the table. Building from scratch costs one `O(n²)` convolution DP
+/// ([`Self::from_probs`], bit-identical to
+/// [`crate::numerics::poisson_binomial_pmf`]); after that, opponent-profile
+/// edits are `O(n)` rank updates: [`Self::push`] convolves one coin in,
+/// [`Self::remove`] deconvolves one out, and [`Self::replace`] swaps one
+/// probability for another. Queries ([`Self::expectation`]) are
+/// allocation-free `O(n)` Kahan dots against a caller-supplied value table.
+///
+/// The deconvolution picks the numerically contractive recurrence
+/// direction (forward for `p ≤ ½`, backward for `p > ½`, exact
+/// shift/truncate for `p ∈ {0, 1}`), so long add/remove walks — e.g. an
+/// ESS ledger stepping `k` levels — accumulate only `O(n·ε)` error
+/// (≈ 1e-13 at `n = 256`) instead of amplifying.
+#[derive(Debug, Clone, Default)]
+pub struct PbTable {
+    /// PMF of the current multiset: `pmf[j] = P[Σᵢ Xᵢ = j]`,
+    /// `j = 0..=probs.len()`.
+    pmf: Vec<f64>,
+    /// The Bernoulli probabilities currently convolved in (stack order —
+    /// the multiset semantics come from lookups by value in
+    /// [`Self::remove`]).
+    probs: Vec<f64>,
+}
+
+impl PbTable {
+    /// An empty table (PMF of the empty sum: point mass at 0).
+    pub fn new() -> Self {
+        Self { pmf: vec![1.0], probs: Vec::new() }
+    }
+
+    /// An empty table with capacity reserved for `n` probabilities.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut pmf = Vec::with_capacity(n + 1);
+        pmf.push(1.0);
+        Self { pmf, probs: Vec::with_capacity(n) }
+    }
+
+    /// Build the table for a probability profile with one `O(n²)` DP.
+    /// The result is **bit-identical** to
+    /// [`crate::numerics::poisson_binomial_pmf`]`(probs)` — both run the
+    /// same [`crate::numerics::convolve_bernoulli`] step sequence.
+    pub fn from_probs(probs: &[f64]) -> Result<Self> {
+        let mut table = Self::with_capacity(probs.len());
+        for &p in probs {
+            table.push(p)?;
+        }
+        Ok(table)
+    }
+
+    /// Number of Bernoulli factors currently in the table.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the table holds no factors (PMF is the point mass at 0).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// The current PMF: `pmf()[j] = P[Σᵢ Xᵢ = j]` for `j = 0..=len()`.
+    #[inline]
+    pub fn pmf(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// The probabilities currently convolved in (unspecified order).
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Clear the table back to the empty product.
+    pub fn clear(&mut self) {
+        self.probs.clear();
+        self.pmf.clear();
+        self.pmf.push(1.0);
+    }
+
+    /// Convolve one `Bernoulli(p)` factor in: `O(n)`. `p` within round-off
+    /// of `[0, 1]` is clamped; genuinely out-of-range or non-finite `p` is
+    /// rejected with [`Error::ProbabilityOutOfRange`].
+    pub fn push(&mut self, p: f64) -> Result<()> {
+        let p = normalize_prob(p)?;
+        let count = self.probs.len();
+        self.pmf.push(0.0);
+        convolve_bernoulli(&mut self.pmf, count, p);
+        self.probs.push(p);
+        Ok(())
+    }
+
+    /// Deconvolve one `Bernoulli(p)` factor out: `O(n)`. The probability
+    /// must currently be in the table (matched exactly, after the same
+    /// clamping as [`Self::push`]); otherwise
+    /// [`Error::InvalidArgument`] is returned and the table is unchanged.
+    pub fn remove(&mut self, p: f64) -> Result<()> {
+        let p = normalize_prob(p)?;
+        let Some(pos) = self.probs.iter().position(|q| q.to_bits() == p.to_bits()) else {
+            return Err(Error::InvalidArgument(format!(
+                "probability {p} is not in the Poisson-binomial table"
+            )));
+        };
+        self.probs.swap_remove(pos);
+        let n = self.pmf.len() - 1; // factor count before removal
+        if p == 0.0 {
+            // conv(rest, Bern(0)) = [rest, 0]: the top entry is exactly 0.
+            self.pmf.truncate(n);
+        } else if p == 1.0 {
+            // conv(rest, Bern(1)) = [0, rest]: shift down one slot.
+            self.pmf.copy_within(1..=n, 0);
+            self.pmf.truncate(n);
+        } else if p <= 0.5 {
+            // Forward recurrence, contractive for p <= 1/2:
+            // rest[0] = pmf[0]/(1-p); rest[j] = (pmf[j] - rest[j-1]·p)/(1-p).
+            let q1 = 1.0 - p;
+            self.pmf[0] = (self.pmf[0] / q1).max(0.0);
+            for j in 1..n {
+                self.pmf[j] = ((self.pmf[j] - self.pmf[j - 1] * p) / q1).max(0.0);
+            }
+            self.pmf.truncate(n);
+        } else {
+            // Backward recurrence, contractive for p > 1/2:
+            // rest[n-1] = pmf[n]/p; rest[j-1] = (pmf[j] - rest[j]·(1-p))/p.
+            // rest[j-1] is staged at slot j (slot j's old value is consumed
+            // in the same step), then the block shifts down.
+            let q1 = 1.0 - p;
+            for j in (1..=n).rev() {
+                let rest_j = if j == n { 0.0 } else { self.pmf[j + 1] };
+                self.pmf[j] = ((self.pmf[j] - rest_j * q1) / p).max(0.0);
+            }
+            self.pmf.copy_within(1..=n, 0);
+            self.pmf.truncate(n);
+        }
+        Ok(())
+    }
+
+    /// Swap one factor's probability: `remove(old)` then `push(new)`, the
+    /// `O(n)` rank update that walks an ESS ledger level. Exact no-op when
+    /// `old` and `new` are bit-equal (no round-off is introduced).
+    pub fn replace(&mut self, old: f64, new: f64) -> Result<()> {
+        let old = normalize_prob(old)?;
+        let new = normalize_prob(new)?;
+        if old.to_bits() == new.to_bits() {
+            // Exact no-op, but keep remove()'s membership contract.
+            if !self.probs.iter().any(|q| q.to_bits() == old.to_bits()) {
+                return Err(Error::InvalidArgument(format!(
+                    "probability {old} is not in the Poisson-binomial table"
+                )));
+            }
+            return Ok(());
+        }
+        self.remove(old)?;
+        self.push(new)
+    }
+
+    /// Expectation `E[h(L)]` for the current law `L` and a value table
+    /// `h[j]`, `j = 0..=len()` (e.g. a congestion table `C(j+1)`): an
+    /// allocation-free Kahan dot with the same accumulation order as the
+    /// scalar reference path. `h` may be longer than the PMF; extra
+    /// entries are ignored.
+    pub fn expectation(&self, h: &[f64]) -> f64 {
+        debug_assert!(h.len() >= self.pmf.len(), "value table shorter than PMF");
+        kahan_sum(self.pmf.iter().zip(h.iter()).map(|(p, v)| p * v))
+    }
+
+    /// Mean of the current law: `Σᵢ pᵢ` evaluated from the PMF.
+    pub fn mean(&self) -> f64 {
+        kahan_sum(self.pmf.iter().enumerate().map(|(j, &p)| j as f64 * p))
+    }
+}
+
+/// Cache of [`PbTable`]s keyed by the **sorted** visit-probability
+/// multiset: every opponent profile in an equivalence class (same
+/// probabilities, any order) shares one `O(n²)` DP setup.
+///
+/// [`crate::payoff::PayoffContext::heterogeneous_payoff`] uses one cache
+/// per call (sites with equal opponent profiles share tables);
+/// [`crate::ess::probe_ess_k`] holds one across all mutants so the
+/// resident-only baseline profiles are built exactly once.
+///
+/// Because the DP runs over the *sorted* representative, a cached PMF can
+/// differ from an unsorted one-shot DP by the usual commutation round-off
+/// (`O(n·ε)`, ≈ 3e-14 at `n = 128`) — far inside the 1e-13 agreement
+/// contract tested in CI, but not bit-identical for unsorted profiles.
+#[derive(Debug, Clone, Default)]
+pub struct PbCache {
+    map: HashMap<Vec<u64>, PbTable>,
+    key_buf: Vec<u64>,
+    sorted: Vec<f64>,
+    builds: usize,
+    hits: usize,
+}
+
+impl PbCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The table for `probs`' equivalence class, building it on first use.
+    /// The returned reference stays valid until the next cache call.
+    pub fn table(&mut self, probs: &[f64]) -> Result<&PbTable> {
+        self.sorted.clear();
+        self.sorted.extend_from_slice(probs);
+        self.sorted.sort_unstable_by(f64::total_cmp);
+        self.key_buf.clear();
+        for &p in &self.sorted {
+            self.key_buf.push(normalize_prob(p)?.to_bits());
+        }
+        if !self.map.contains_key(&self.key_buf) {
+            let table = PbTable::from_probs(&self.sorted)?;
+            self.map.insert(self.key_buf.clone(), table);
+            self.builds += 1;
+        } else {
+            self.hits += 1;
+        }
+        Ok(self.map.get(&self.key_buf).expect("inserted above"))
+    }
+
+    /// Number of distinct profile classes built so far.
+    #[inline]
+    pub fn builds(&self) -> usize {
+        self.builds
+    }
+
+    /// Number of lookups served from an existing table.
+    #[inline]
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of cached tables.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 }
 
@@ -625,6 +918,115 @@ mod tests {
         for &q in grid_points(50).iter() {
             assert_eq!(ctx.g(q).unwrap().to_bits(), table.eval(q).to_bits());
         }
+    }
+
+    #[test]
+    fn pb_table_matches_one_shot_dp_bitwise() {
+        let probs = [0.1, 0.9, 0.33, 0.5, 0.02, 0.0, 1.0, 0.77];
+        let table = PbTable::from_probs(&probs).unwrap();
+        let reference = crate::numerics::poisson_binomial_pmf(&probs);
+        assert_eq!(table.len(), probs.len());
+        assert_eq!(table.pmf().len(), reference.len());
+        for (j, (&a, &b)) in table.pmf().iter().zip(reference.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "pmf[{j}]: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn pb_table_push_remove_roundtrip() {
+        let base = [0.2, 0.5, 0.8];
+        for &p in &[0.0, 1e-9, 0.3, 0.5, 0.7, 1.0 - 1e-9, 1.0] {
+            let mut table = PbTable::from_probs(&base).unwrap();
+            let before = table.pmf().to_vec();
+            table.push(p).unwrap();
+            assert_eq!(table.len(), 4);
+            table.remove(p).unwrap();
+            assert_eq!(table.len(), 3);
+            for (j, (&a, &b)) in table.pmf().iter().zip(before.iter()).enumerate() {
+                assert!((a - b).abs() <= 1e-14, "p = {p} pmf[{j}] drifted: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pb_table_remove_requires_membership() {
+        let mut table = PbTable::from_probs(&[0.25, 0.75]).unwrap();
+        assert!(table.remove(0.5).is_err());
+        assert_eq!(table.len(), 2, "failed remove must not mutate");
+        assert!(table.remove(0.25).is_ok());
+        assert!(PbTable::new().remove(0.1).is_err());
+    }
+
+    #[test]
+    fn pb_table_rejects_bad_probabilities() {
+        let mut table = PbTable::new();
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(table.push(bad).is_err(), "push({bad}) should fail");
+        }
+        // Round-off clamps; -0.0 canonicalizes so remove-by-value works.
+        table.push(-1e-13).unwrap();
+        table.push(-0.0).unwrap();
+        assert_eq!(table.probs(), &[0.0, 0.0]);
+        table.remove(0.0).unwrap();
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn pb_table_replace_walks_ledger_levels() {
+        // Start from an all-sigma profile and replace one sigma per step —
+        // the ESS-ledger walk. Compare each level against a fresh DP.
+        let (s, p) = (0.37, 0.61);
+        let n = 24;
+        let mut table = PbTable::from_probs(&vec![s; n]).unwrap();
+        for level in 1..=n {
+            table.replace(s, p).unwrap();
+            let mut profile = vec![s; n - level];
+            profile.extend(std::iter::repeat_n(p, level));
+            let reference = crate::numerics::poisson_binomial_pmf(&profile);
+            for (j, (&a, &b)) in table.pmf().iter().zip(reference.iter()).enumerate() {
+                assert!((a - b).abs() <= 1e-13, "level {level} pmf[{j}]: {a} vs {b}");
+            }
+        }
+        // Bit-equal replace is an exact no-op.
+        let before = table.pmf().to_vec();
+        table.replace(p, p).unwrap();
+        for (&a, &b) in table.pmf().iter().zip(before.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(table.replace(0.123, 0.123).is_err(), "no-op replace still checks membership");
+    }
+
+    #[test]
+    fn pb_table_expectation_and_mean() {
+        let probs = [0.2, 0.7, 0.4];
+        let table = PbTable::from_probs(&probs).unwrap();
+        let h: Vec<f64> = (0..=3).map(|j| j as f64).collect();
+        assert!((table.expectation(&h) - 1.3).abs() < 1e-12);
+        assert!((table.mean() - 1.3).abs() < 1e-12);
+        // Clearing returns to the empty product.
+        let mut table = table;
+        table.clear();
+        assert!(table.is_empty());
+        assert_eq!(table.pmf(), &[1.0]);
+    }
+
+    #[test]
+    fn pb_cache_shares_profile_classes() {
+        let mut cache = PbCache::new();
+        let a = cache.table(&[0.2, 0.8]).unwrap().pmf().to_vec();
+        // Permutations share one table (sorted-multiset key).
+        let b = cache.table(&[0.8, 0.2]).unwrap().pmf().to_vec();
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // A different multiset builds a second table.
+        cache.table(&[0.2, 0.2]).unwrap();
+        assert_eq!(cache.builds(), 2);
+        assert!(!cache.is_empty());
+        assert!(cache.table(&[f64::NAN]).is_err());
     }
 
     #[test]

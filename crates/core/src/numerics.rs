@@ -80,6 +80,26 @@ pub fn bernstein(n: usize, j: usize, q: f64) -> f64 {
     binomial_pmf(n, j, q)
 }
 
+/// One in-place step of the Poisson–binomial convolution DP: fold a single
+/// `Bernoulli(p)` coin into `pmf`, which currently holds the PMF of `count`
+/// coins in `pmf[0..=count]` (entries above are ignored and overwritten at
+/// `count + 1`). Requires `pmf.len() >= count + 2`.
+///
+/// This is the shared primitive behind [`poisson_binomial_pmf`] and the
+/// batched [`crate::kernel::PbTable`] — both perform the *identical*
+/// floating-point operation sequence, so a table built by repeated pushes
+/// is bit-identical to the one-shot DP.
+pub fn convolve_bernoulli(pmf: &mut [f64], count: usize, p: f64) {
+    debug_assert!((0.0..=1.0).contains(&p), "bernoulli prob out of range: {p}");
+    debug_assert!(pmf.len() >= count + 2, "pmf buffer too small for convolution step");
+    // Iterate downwards so each entry is updated from the previous round.
+    for j in (0..=count + 1).rev() {
+        let stay = if j <= count { pmf[j] * (1.0 - p) } else { 0.0 };
+        let step = if j > 0 { pmf[j - 1] * p } else { 0.0 };
+        pmf[j] = stay + step;
+    }
+}
+
 /// Exact Poisson–binomial PMF: the distribution of `Σ_i X_i` where
 /// `X_i ~ Bernoulli(probs[i])` independently.
 ///
@@ -90,13 +110,7 @@ pub fn poisson_binomial_pmf(probs: &[f64]) -> Vec<f64> {
     let mut pmf = vec![0.0; n + 1];
     pmf[0] = 1.0;
     for (i, &p) in probs.iter().enumerate() {
-        debug_assert!((0.0..=1.0).contains(&p), "bernoulli prob out of range: {p}");
-        // Iterate downwards so each entry is updated from the previous round.
-        for j in (0..=i + 1).rev() {
-            let stay = if j <= i { pmf[j] * (1.0 - p) } else { 0.0 };
-            let step = if j > 0 { pmf[j - 1] * p } else { 0.0 };
-            pmf[j] = stay + step;
-        }
+        convolve_bernoulli(&mut pmf, i, p);
     }
     pmf
 }

@@ -13,8 +13,8 @@
 //! Poisson–binomial law, evaluated exactly by [`crate::numerics`].
 
 use crate::error::{Error, Result};
-use crate::kernel::GTable;
-use crate::numerics::{binomial_pmf_vector, kahan_sum, poisson_binomial_pmf};
+use crate::kernel::{GTable, PbCache};
+use crate::numerics::{binomial_pmf_vector, kahan_sum};
 use crate::policy::Congestion;
 use crate::strategy::Strategy;
 use crate::value::ValueProfile;
@@ -63,6 +63,21 @@ impl PayoffContext {
         }
         let k = c_table.len();
         Ok(Self { kernel: GTable::from_coefficients(c_table)?, k })
+    }
+
+    /// Attach a cubic-Hermite interpolation grid to this context's kernel
+    /// at a **per-call tolerance** (see [`GTable::with_grid`]): solvers
+    /// whose inner loops go through [`GTable::eval_fast_with`] — the IFD
+    /// water-filling bisections, and everything built on them (SPoA,
+    /// sweeps) — then answer in `O(1)` per evaluation instead of `O(k)`,
+    /// which is what makes `k ∈ [10³, 10⁴]` regime studies affordable.
+    /// Without this call those paths fall back to the exact kernel and
+    /// stay bit-identical to the scalar reference; with it, results move
+    /// by at most a few × `tol` × [`GTable::scale`]. At `k ≳ 10⁴` pass a
+    /// loose tolerance (`1e-12` is below the Hermite error floor there).
+    pub fn with_grid(mut self, tol: f64) -> Result<Self> {
+        self.kernel = self.kernel.with_grid(tol)?;
+        Ok(self)
     }
 
     /// Number of players `k`.
@@ -223,11 +238,34 @@ impl PayoffContext {
     /// Exact multi-opponent payoff `E(ρ; σ₁, …, σ_{k−1})` where each
     /// opponent may play a different strategy. At each site the number of
     /// opponents present is Poisson–binomial distributed.
+    ///
+    /// Allocates a fresh [`PbCache`] per call; batch callers evaluating
+    /// many related profiles (ESS ledgers, mutant probes) should hold one
+    /// cache and use [`Self::heterogeneous_payoff_with`] so sites and
+    /// calls sharing an opponent-profile equivalence class reuse one
+    /// `O(k²)` DP table.
     pub fn heterogeneous_payoff(
         &self,
         f: &ValueProfile,
         rho: &Strategy,
         opponents: &[&Strategy],
+    ) -> Result<f64> {
+        self.heterogeneous_payoff_with(f, rho, opponents, &mut PbCache::new())
+    }
+
+    /// [`Self::heterogeneous_payoff`] with a caller-owned Poisson–binomial
+    /// table cache: every site whose opponent visit-probability multiset
+    /// `{σᵢ(x)}` was already seen (in this call *or any previous call with
+    /// the same cache*) reuses the cached `O(k²)` DP instead of rebuilding
+    /// it. Agreement with the per-site one-shot DP is `O(k·ε)` (the cache
+    /// convolves the *sorted* representative), far inside the 1e-13
+    /// contract tested in CI.
+    pub fn heterogeneous_payoff_with(
+        &self,
+        f: &ValueProfile,
+        rho: &Strategy,
+        opponents: &[&Strategy],
+        cache: &mut PbCache,
     ) -> Result<f64> {
         if opponents.len() != self.k - 1 {
             return Err(Error::InvalidArgument(format!(
@@ -255,9 +293,7 @@ impl PayoffContext {
             for (slot, o) in probs_at_site.iter_mut().zip(opponents.iter()) {
                 *slot = o.prob(x);
             }
-            let pmf = poisson_binomial_pmf(&probs_at_site);
-            let expected_c: f64 =
-                kahan_sum(pmf.iter().zip(self.c_table().iter()).map(|(p, c)| p * c));
+            let expected_c = cache.table(&probs_at_site)?.expectation(self.c_table());
             total += rx * f.value(x) * expected_c;
         }
         Ok(total)
@@ -299,6 +335,27 @@ impl PayoffContext {
     ) -> Result<f64> {
         let mu = sigma.mix(pi, eps)?;
         self.expected_payoff(f, rho, &mu)
+    }
+
+    /// Resident-minus-mutant advantage in the `ε`-mixed population:
+    /// `U[σ; μ_ε] − U[π; μ_ε]` with `μ_ε = (1−ε)σ + επ` — the quantity
+    /// the invasion barrier and the invasion experiments threshold on.
+    ///
+    /// Computed from **one** site-value pass over `μ_ε` (both payoffs dot
+    /// the same `ν_{μ}` vector), so it is bit-identical to the difference
+    /// of two [`Self::mixture_payoff`] calls at half the kernel work.
+    pub fn mixture_advantage(
+        &self,
+        f: &ValueProfile,
+        sigma: &Strategy,
+        pi: &Strategy,
+        eps: f64,
+    ) -> Result<f64> {
+        let mu = sigma.mix(pi, eps)?;
+        let nu = self.site_values(f, &mu)?;
+        let u_sigma = kahan_sum(sigma.probs().iter().zip(nu.iter()).map(|(r, v)| r * v));
+        let u_pi = kahan_sum(pi.probs().iter().zip(nu.iter()).map(|(r, v)| r * v));
+        Ok(u_sigma - u_pi)
     }
 }
 
@@ -539,6 +596,44 @@ mod tests {
             series += w * e;
         }
         close(direct, series, 1e-12);
+    }
+
+    #[test]
+    fn mixture_advantage_is_bit_identical_to_payoff_difference() {
+        let f = ValueProfile::new(vec![1.0, 0.7, 0.3]).unwrap();
+        let sigma = Strategy::new(vec![0.6, 0.3, 0.1]).unwrap();
+        let pi = Strategy::new(vec![0.1, 0.1, 0.8]).unwrap();
+        for c in [&Exclusive as &dyn Congestion, &Sharing, &TwoLevel { c: -0.2 }] {
+            let ctx = PayoffContext::new(c, 4).unwrap();
+            for &eps in &[0.0, 0.05, 0.3, 0.9, 1.0] {
+                let direct = ctx.mixture_payoff(&f, &sigma, &sigma, &pi, eps).unwrap()
+                    - ctx.mixture_payoff(&f, &pi, &sigma, &pi, eps).unwrap();
+                let fused = ctx.mixture_advantage(&f, &sigma, &pi, eps).unwrap();
+                assert_eq!(direct.to_bits(), fused.to_bits(), "{} eps = {eps}", c.name());
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_payoff_shares_tables_across_calls() {
+        let f = ValueProfile::zipf(5, 1.0, 1.0).unwrap();
+        let sigma = Strategy::proportional(f.values()).unwrap();
+        let pi = Strategy::uniform(5).unwrap();
+        let rho = Strategy::delta(5, 0).unwrap();
+        let ctx = PayoffContext::new(&Sharing, 4).unwrap();
+        let mut cache = crate::kernel::PbCache::new();
+        let opponents = [&sigma, &sigma, &pi];
+        let a = ctx.heterogeneous_payoff_with(&f, &rho, &opponents, &mut cache).unwrap();
+        let builds_first = cache.builds();
+        assert!(builds_first > 0);
+        // Second call with the same profiles: all tables come from the cache.
+        let b = ctx.heterogeneous_payoff_with(&f, &rho, &opponents, &mut cache).unwrap();
+        assert_eq!(cache.builds(), builds_first, "no new DP builds on a repeat call");
+        assert!(cache.hits() > 0);
+        assert_eq!(a.to_bits(), b.to_bits());
+        // And the cached path matches the one-shot entry point.
+        let fresh = ctx.heterogeneous_payoff(&f, &rho, &opponents).unwrap();
+        assert!((a - fresh).abs() <= 1e-13);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 
 use crate::coverage::coverage;
 use crate::error::Result;
-use crate::ifd::{solve_ifd_allow_degenerate, Ifd};
+use crate::ifd::{solve_ifd_allow_degenerate, solve_ifd_with_context, Ifd};
 use crate::optimal::optimal_coverage;
+use crate::payoff::PayoffContext;
 use crate::policy::Congestion;
 use crate::value::ValueProfile;
 use rand::Rng;
@@ -39,6 +40,25 @@ pub struct SpoaPoint {
 /// discussion of `C ≡ 1` having SPoA ≈ k.
 pub fn spoa(c: &dyn Congestion, f: &ValueProfile, k: usize) -> Result<SpoaPoint> {
     let ifd: Ifd = solve_ifd_allow_degenerate(c, f, k)?;
+    let eq_cov = coverage(f, &ifd.strategy, k)?;
+    let opt = optimal_coverage(f, k)?;
+    Ok(SpoaPoint {
+        optimal_coverage: opt.coverage,
+        equilibrium_coverage: eq_cov,
+        ratio: opt.coverage / eq_cov,
+        ifd_support: ifd.support,
+        ifd_residual: ifd.residual,
+    })
+}
+
+/// Evaluate `SPoA` with a prebuilt (non-degenerate) [`PayoffContext`] —
+/// the entry point for large-`k` regime studies: attach an interpolation
+/// grid ([`PayoffContext::with_grid`], e.g. at tolerance `1e-9`) and the
+/// IFD water-filling inside runs `O(1)` per kernel evaluation instead of
+/// `O(k)`.
+pub fn spoa_with_context(ctx: &PayoffContext, f: &ValueProfile) -> Result<SpoaPoint> {
+    let ifd: Ifd = solve_ifd_with_context(ctx, f)?;
+    let k = ctx.k();
     let eq_cov = coverage(f, &ifd.strategy, k)?;
     let opt = optimal_coverage(f, k)?;
     Ok(SpoaPoint {

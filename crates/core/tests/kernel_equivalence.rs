@@ -3,9 +3,14 @@
 //! the benches exercise). Run explicitly in CI via
 //! `cargo test --release -p dispersal-core --test kernel_equivalence`.
 
-use dispersal_core::kernel::GTable;
+use dispersal_core::ess::{ess_ledger, reference_ledger};
+use dispersal_core::kernel::{GTable, PbTable};
+use dispersal_core::numerics::poisson_binomial_pmf;
 use dispersal_core::payoff::PayoffContext;
 use dispersal_core::policy::{Congestion, Exclusive, PowerLaw, Sharing, TwoLevel};
+use dispersal_core::sigma_star::sigma_star;
+use dispersal_core::strategy::Strategy;
+use dispersal_core::value::ValueProfile;
 
 const K: usize = 256;
 
@@ -68,6 +73,48 @@ fn fused_path_is_within_contract_at_k256() {
                 c.name()
             );
         }
+    }
+}
+
+#[test]
+fn pb_table_is_bit_identical_to_one_shot_dp_at_k256() {
+    // 255 heterogeneous Bernoulli factors (one per opponent at k = 256):
+    // the incrementally built table must match the one-shot DP bitwise.
+    let probs: Vec<f64> = (0..K - 1).map(|i| (i as f64 + 0.5) / K as f64).collect();
+    let table = PbTable::from_probs(&probs).unwrap();
+    let reference = poisson_binomial_pmf(&probs);
+    for (j, (&a, &b)) in table.pmf().iter().zip(reference.iter()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "pmf[{j}]");
+    }
+}
+
+#[test]
+fn ess_ledger_matches_pre_kernel_path_at_k256() {
+    // Acceptance check for the kernel-backed ESS checker: the rank-update
+    // ledger agrees with the pre-kernel per-site-DP path to 1e-12 at
+    // k = 256 (bit-identical at level 0, where the exact DP is used).
+    let f = ValueProfile::zipf(6, 1.0, 1.0).unwrap();
+    let k = K;
+    let ctx = PayoffContext::new(&Exclusive, k).unwrap();
+    let sigma = sigma_star(&f, k).unwrap().strategy;
+    let pi = Strategy::uniform(6).unwrap();
+    let fast = ess_ledger(&ctx, &f, &sigma, &pi).unwrap();
+    let reference = reference_ledger(&ctx, &f, &sigma, &pi).unwrap();
+    assert_eq!(fast.resident[0].to_bits(), reference.resident[0].to_bits());
+    assert_eq!(fast.mutant[0].to_bits(), reference.mutant[0].to_bits());
+    for ell in 0..k {
+        assert!(
+            (fast.resident[ell] - reference.resident[ell]).abs() <= 1e-12,
+            "resident level {ell}: {} vs {}",
+            fast.resident[ell],
+            reference.resident[ell]
+        );
+        assert!(
+            (fast.mutant[ell] - reference.mutant[ell]).abs() <= 1e-12,
+            "mutant level {ell}: {} vs {}",
+            fast.mutant[ell],
+            reference.mutant[ell]
+        );
     }
 }
 

@@ -133,9 +133,9 @@ pub fn run_invasion(
     }
     let ctx = PayoffContext::new(c, k)?;
     // Analytic prediction: U[sigma; mix] - U[pi; mix] (Eq. 3 collapses to
-    // the mixture-field payoff for i.i.d. opponents).
-    let analytic_advantage = ctx.mixture_payoff(f, resident, resident, mutant, config.epsilon)?
-        - ctx.mixture_payoff(f, mutant, resident, mutant, config.epsilon)?;
+    // the mixture-field payoff for i.i.d. opponents); one site-value pass
+    // serves both sides.
+    let analytic_advantage = ctx.mixture_advantage(f, resident, mutant, config.epsilon)?;
     let experiment = InvasionMc {
         f,
         res_sampler: StrategySampler::new(resident),

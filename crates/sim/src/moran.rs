@@ -96,7 +96,10 @@ pub fn run_moran(
     let mut rng = Seed(config.seed).rng();
     // Individuals' pure site choices, initialized uniformly at random.
     let mut sites: Vec<usize> = (0..n).map(|_| rng.gen_range(0..m)).collect();
-    let c_table = ctx.c_table().to_vec();
+    // Site-major reward matrix `rewards[x·k + ℓ − 1] = f(x)·C(ℓ)` — the
+    // same precomputed lookup layout as the one-shot and invasion
+    // experiments, so the inner game loop does no value×table multiplies.
+    let rewards = crate::oneshot::reward_matrix(f, ctx.c_table());
     let mut freq_acc = vec![0.0f64; m];
     let mut recorded = 0u64;
     let mut fitness = vec![0.0f64; n];
@@ -124,7 +127,7 @@ pub fn run_moran(
                 }
                 for &ind in group {
                     let site = sites[ind];
-                    fitness[ind] += f.value(site) * c_table[occupancy[site] - 1];
+                    fitness[ind] += rewards[site * k + occupancy[site] - 1];
                     plays[ind] += 1;
                 }
             }

@@ -5,11 +5,13 @@
 
 use crate::engine;
 use dispersal_core::kernel::GTable;
-use dispersal_core::policy::Congestion;
+use dispersal_core::policy::{validate_congestion, Congestion};
 use dispersal_core::value::ValueProfile;
 use dispersal_core::{Error, Result};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One cell of a sweep grid.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -78,6 +80,111 @@ pub fn response_grid(
     engine::par_map(ks.to_vec(), |k| {
         let table = GTable::new(c, k)?;
         Ok(ResponseCurve { k, qs: qs.clone(), g: table.eval_many(&qs) })
+    })
+}
+
+/// Memoized interpolation grids for the sweep layer, keyed by the
+/// `(policy, k)` fingerprint (the congestion coefficient table, which
+/// determines both) plus the requested tolerance.
+///
+/// Building a [`GTable::with_grid`] interpolant is the expensive part of
+/// an interpolated sweep — refinement evaluates the exact `O(k)` kernel
+/// at every node until the measured midpoint error meets the bound.
+/// Sweeps that revisit the same `(policy, k)` cell (ε-grids, resolution
+/// scans, repeated plotting calls) should hold one `GridCache` so the
+/// grid is built once and shared as an [`Arc`]; the tolerance is
+/// per-call — plotting sweeps typically pass `1e-9` (cheap, coarse
+/// grids), verification sweeps `1e-12` — and each distinct tolerance
+/// memoizes its own entry. Non-finite or non-positive tolerances are
+/// rejected with [`dispersal_core::Error::InvalidTolerance`] (propagated
+/// from [`GTable::with_grid`]).
+#[derive(Debug, Clone, Default)]
+pub struct GridCache {
+    map: HashMap<(Vec<u64>, u64), Arc<GTable>>,
+    builds: usize,
+    hits: usize,
+}
+
+impl GridCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The gridded table for `(c, k)` at tolerance `tol`, built on first
+    /// use. Returned as an [`Arc`] so parallel sweep workers can share
+    /// one instance without cloning the grid.
+    pub fn table(&mut self, c: &dyn Congestion, k: usize, tol: f64) -> Result<Arc<GTable>> {
+        let coeffs = validate_congestion(c, k)?;
+        if !(tol.is_finite() && tol > 0.0) {
+            return Err(Error::InvalidTolerance { tol });
+        }
+        let key = (coeffs.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(), tol.to_bits());
+        if let Some(table) = self.map.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(table));
+        }
+        let table = Arc::new(GTable::from_coefficients(coeffs)?.with_grid(tol)?);
+        self.map.insert(key, Arc::clone(&table));
+        self.builds += 1;
+        Ok(table)
+    }
+
+    /// Number of grids built so far.
+    #[inline]
+    pub fn builds(&self) -> usize {
+        self.builds
+    }
+
+    /// Number of lookups served from an existing grid.
+    #[inline]
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of memoized grids.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no grids.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// [`response_grid`] through memoized `O(1)`-per-point interpolation
+/// grids: grids are pulled from (or built into) `cache` at the per-call
+/// tolerance `tol`, then every curve is evaluated in parallel. The
+/// workhorse for large-`k` sweeps — at `k = 10⁴` an exact curve pays
+/// `O(k)` per point while the interpolated one is a table lookup, and
+/// repeated sweeps over the same `(policy, k)` cells pay the grid build
+/// only once.
+pub fn response_grid_interpolated(
+    c: &dyn Congestion,
+    ks: &[usize],
+    resolution: usize,
+    tol: f64,
+    cache: &mut GridCache,
+) -> Result<Vec<ResponseCurve>> {
+    if ks.is_empty() {
+        return Err(Error::InvalidArgument("response grid needs at least one k".into()));
+    }
+    if resolution == 0 {
+        return Err(Error::InvalidArgument("response grid resolution must be >= 1".into()));
+    }
+    let qs: Vec<f64> = (0..=resolution).map(|i| i as f64 / resolution as f64).collect();
+    // Builds go through the &mut cache serially (each build is itself the
+    // heavy step); evaluation fans out across curves.
+    let tables: Vec<(usize, Arc<GTable>)> =
+        ks.iter().map(|&k| cache.table(c, k, tol).map(|t| (k, t))).collect::<Result<_>>()?;
+    engine::par_map(tables, |(k, table)| {
+        let mut scratch = table.scratch();
+        let mut g = vec![0.0; qs.len()];
+        table.eval_fast_many_with(&mut scratch, &qs, &mut g);
+        Ok(ResponseCurve { k, qs: qs.clone(), g })
     })
 }
 
@@ -150,6 +257,79 @@ mod tests {
         assert!(response_grid(&Sharing, &[], 10).is_err());
         assert!(response_grid(&Sharing, &[2], 0).is_err());
         assert!(response_grid(&Sharing, &[0], 10).is_err());
+    }
+
+    #[test]
+    fn grid_cache_reuses_memoized_tables_across_sweep_calls() {
+        let mut cache = GridCache::new();
+        let ks = [4usize, 16];
+        let a = response_grid_interpolated(&Sharing, &ks, 32, 1e-9, &mut cache).unwrap();
+        assert_eq!(cache.builds(), 2);
+        assert_eq!(cache.hits(), 0);
+        // Second sweep over the same cells: zero new builds, all hits.
+        let b = response_grid_interpolated(&Sharing, &ks, 64, 1e-9, &mut cache).unwrap();
+        assert_eq!(cache.builds(), 2, "memoized grids must be reused");
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+        // Pointer check: the cache hands back the *same* Arc, not a rebuild.
+        let first = cache.table(&Sharing, 4, 1e-9).unwrap();
+        let second = cache.table(&Sharing, 4, 1e-9).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "same (policy, k, tol) must share one grid");
+        // Interpolated values agree across resolutions at shared points.
+        for (ca, cb) in a.iter().zip(b.iter()) {
+            assert_eq!(ca.g[0].to_bits(), cb.g[0].to_bits());
+            assert_eq!(ca.g.last().unwrap().to_bits(), cb.g.last().unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn grid_cache_tolerance_is_per_call() {
+        let mut cache = GridCache::new();
+        let fine = cache.table(&Sharing, 16, 1e-12).unwrap();
+        let coarse = cache.table(&Sharing, 16, 1e-6).unwrap();
+        // Distinct tolerances memoize distinct grids; the coarse one is
+        // genuinely cheaper (fewer cells).
+        assert!(!Arc::ptr_eq(&fine, &coarse));
+        assert_eq!(cache.builds(), 2);
+        assert!(coarse.grid_cells() <= fine.grid_cells());
+        assert!(fine.grid_error().unwrap() <= 1e-12 * fine.scale());
+        // Bad tolerances are rejected with the typed error.
+        for bad in [0.0, -1e-9, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    cache.table(&Sharing, 16, bad),
+                    Err(dispersal_core::Error::InvalidTolerance { .. })
+                ),
+                "tol = {bad} must be rejected"
+            );
+        }
+        assert!(matches!(
+            response_grid_interpolated(&Sharing, &[4], 8, -1.0, &mut cache),
+            Err(dispersal_core::Error::InvalidTolerance { .. })
+        ));
+    }
+
+    #[test]
+    fn interpolated_response_grid_tracks_exact_curves() {
+        let mut cache = GridCache::new();
+        let ks = [2usize, 8, 33];
+        let tol = 1e-9;
+        let interp = response_grid_interpolated(&Sharing, &ks, 64, tol, &mut cache).unwrap();
+        let exact = response_grid(&Sharing, &ks, 64).unwrap();
+        for (ci, ce) in interp.iter().zip(exact.iter()) {
+            assert_eq!(ci.k, ce.k);
+            let scale = cache.table(&Sharing, ci.k, tol).unwrap().scale();
+            for (&gi, &ge) in ci.g.iter().zip(ce.g.iter()) {
+                assert!(
+                    (gi - ge).abs() <= 4.0 * tol * scale,
+                    "k = {}: interp {gi} vs exact {ge}",
+                    ci.k
+                );
+            }
+        }
+        assert!(response_grid_interpolated(&Sharing, &[], 8, tol, &mut cache).is_err());
+        assert!(response_grid_interpolated(&Sharing, &[2], 0, tol, &mut cache).is_err());
     }
 
     #[test]

@@ -10,14 +10,23 @@
 //! registry rayon pins its global pool at first use, so an in-process
 //! sweep like this one would silently test a single pool size there.
 
+use dispersal_core::ess::{invasion_barrier, probe_ess_k};
+use dispersal_core::payoff::PayoffContext;
 use dispersal_core::policy::{Exclusive, Sharing};
+use dispersal_core::sigma_star::sigma_star;
 use dispersal_core::strategy::Strategy;
 use dispersal_core::value::ValueProfile;
 use dispersal_sim::montecarlo::{estimate_symmetric, McConfig, McReport};
 use dispersal_sim::sweep::{sweep_grid, SweepCell};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::collections::HashSet;
 use std::sync::Mutex;
+
+/// Tests that sweep `rayon::set_num_threads` must not interleave: the
+/// setting is process-global, and e.g. the ≥2-OS-thread observability
+/// check below would be meaningless under a concurrently pinned count.
+static THREAD_SWEEP_LOCK: Mutex<()> = Mutex::new(());
 
 fn mc_run() -> McReport {
     let f = ValueProfile::new(vec![1.0, 0.6, 0.2]).unwrap();
@@ -36,6 +45,7 @@ fn sweep_run() -> Vec<SweepCell<u64>> {
 
 #[test]
 fn outputs_bit_identical_across_thread_counts_and_pool_is_parallel() {
+    let _guard = THREAD_SWEEP_LOCK.lock().unwrap();
     let mut mc_reports: Vec<McReport> = Vec::new();
     let mut sweeps: Vec<Vec<SweepCell<u64>>> = Vec::new();
     for threads in [1, 2, 8] {
@@ -81,6 +91,37 @@ fn outputs_bit_identical_across_thread_counts_and_pool_is_parallel() {
         "vendored rayon pool did not run on multiple OS threads"
     );
     rayon::set_num_threads(0);
+}
+
+#[test]
+fn ess_checker_and_barrier_bit_identical_across_thread_counts() {
+    // The kernel-backed ESS checker (PbTable rank updates + PbCache
+    // sharing) must not pick up any thread-count sensitivity: identical
+    // reports and barriers at RAYON_NUM_THREADS ∈ {1, 8}.
+    let _guard = THREAD_SWEEP_LOCK.lock().unwrap();
+    let f = ValueProfile::zipf(6, 1.0, 1.0).unwrap();
+    let k = 4;
+    let star = sigma_star(&f, k).unwrap().strategy;
+    let ctx = PayoffContext::new(&Exclusive, k).unwrap();
+    let pi = Strategy::uniform(6).unwrap();
+    let mut probes = Vec::new();
+    let mut barriers = Vec::new();
+    for threads in [1usize, 8] {
+        rayon::set_num_threads(threads);
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        probes.push(probe_ess_k(&Exclusive, &f, &star, 30, &mut rng, k).unwrap());
+        barriers.push(invasion_barrier(&ctx, &f, &star, &pi, 200).unwrap());
+    }
+    rayon::set_num_threads(0);
+    let (a, b) = (&probes[0], &probes[1]);
+    assert_eq!(a.mutants_tested, b.mutants_tested);
+    assert_eq!(a.repelled, b.repelled);
+    assert_eq!(a.indistinguishable, b.indistinguishable);
+    assert_eq!(a.invasions, b.invasions);
+    assert_eq!(a.worst_margin.to_bits(), b.worst_margin.to_bits());
+    assert_eq!(barriers[0].to_bits(), barriers[1].to_bits());
+    assert!(a.passed(), "sigma* must pass its own probe: {:?}", a.invasions);
+    assert!(barriers[0] > 0.0);
 }
 
 #[test]

@@ -81,6 +81,20 @@ pub mod strategy {
         )*};
     }
     numeric_range_strategies!(usize, u64, u32, u16, u8, i64, i32, i16, i8, isize, f64, f32);
+
+    macro_rules! tuple_strategies {
+        ($(($($S:ident $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    // Tuples of strategies generate tuples of values (mirror of the real
+    // crate's tuple `Strategy` impls), e.g. inside `collection::vec`.
+    tuple_strategies!((A 0, B 1), (A 0, B 1, C 2), (A 0, B 1, C 2, D 3));
 }
 
 pub mod collection {
