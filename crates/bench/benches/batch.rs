@@ -1,0 +1,135 @@
+//! Benchmark: the policy-batched `GBatch` GEMM evaluator vs the
+//! per-policy `GTable` loop — evaluating a shared 1024-point q-grid
+//! against P policies at once, the trajectory recorded in
+//! `BENCH_batch.json` at the repo root.
+//!
+//! Four variants per `(P, k)` cell, all producing the full `P × 1024`
+//! policy-major response matrix:
+//!
+//! * `gtable_loop` — the pre-batch formulation: one `GTable` per policy,
+//!   each curve through `eval_many_with` (every policy pays its own
+//!   per-point PMF recurrence: `P × O(k)` transcendentals per grid
+//!   point);
+//! * `gtable_fused_loop` — per-policy `eval_fused_many_into` (the
+//!   strongest per-policy loop: still `P` basis walks per point);
+//! * `gbatch_ref` — `GBatch::eval_many_with`: the shared basis column is
+//!   built **once** per point, every row finished with the reference
+//!   Kahan dot (outputs bit-identical to `gtable_loop`);
+//! * `gbatch_gemm` — `GBatch::eval_fused_many_into`: one fused basis walk
+//!   per point plus a blocked matrix–vector product (4 independent
+//!   accumulator chains per row block).
+//!
+//! Throughput is rows/sec = `P × 1024 / wall`; speedup columns in the
+//! JSON are against `gtable_loop`.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use dispersal_core::kernel::{GBatch, GTable};
+
+const GRID: usize = 1024;
+
+fn qs() -> Vec<f64> {
+    (0..GRID).map(|i| (i as f64 + 0.5) / GRID as f64).collect()
+}
+
+/// `count` distinct monotone congestion rows at player count `k`: a
+/// power-law family `C(ℓ) = ℓ^{−β}` with `β` swept per row — the shape of
+/// a mechanism catalog sharing one `k`.
+fn policy_rows(count: usize, k: usize) -> Vec<Vec<f64>> {
+    (0..count)
+        .map(|i| {
+            let beta = 0.25 + i as f64 * 0.125;
+            (1..=k).map(|ell| (ell as f64).powf(-beta)).collect()
+        })
+        .collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let qs = qs();
+    let mut group = c.benchmark_group("batch_grid_1024");
+    group.sample_size(10);
+    for &(p, k) in &[(4usize, 64usize), (16, 64), (64, 64), (16, 256)] {
+        let rows = policy_rows(p, k);
+        let tables: Vec<GTable> =
+            rows.iter().map(|r| GTable::from_coefficients(r.clone()).unwrap()).collect();
+        let batch = GBatch::from_rows(rows).unwrap();
+        let mut out = vec![0.0; p * GRID];
+        let label = format!("p{p}_k{k}");
+        group.bench_with_input(BenchmarkId::new("gtable_loop", &label), &p, |b, _| {
+            b.iter(|| {
+                for (r, table) in tables.iter().enumerate() {
+                    let mut scratch = table.scratch();
+                    table
+                        .eval_many_with(
+                            &mut scratch,
+                            black_box(&qs),
+                            &mut out[r * GRID..(r + 1) * GRID],
+                        )
+                        .unwrap();
+                }
+                black_box(out[GRID / 2])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gtable_fused_loop", &label), &p, |b, _| {
+            b.iter(|| {
+                for (r, table) in tables.iter().enumerate() {
+                    table
+                        .eval_fused_many_into(black_box(&qs), &mut out[r * GRID..(r + 1) * GRID])
+                        .unwrap();
+                }
+                black_box(out[GRID / 2])
+            })
+        });
+        let mut scratch = batch.scratch();
+        group.bench_with_input(BenchmarkId::new("gbatch_ref", &label), &p, |b, _| {
+            b.iter(|| {
+                batch.eval_many_with(&mut scratch, black_box(&qs), &mut out).unwrap();
+                black_box(out[GRID / 2])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gbatch_gemm", &label), &p, |b, _| {
+            b.iter(|| {
+                batch.eval_fused_many_into(&mut scratch, black_box(&qs), &mut out).unwrap();
+                black_box(out[GRID / 2])
+            })
+        });
+    }
+    group.finish();
+}
+
+/// CI guard mode (`-- --quick`): the per-policy `GTable` loop vs the
+/// `GBatch` GEMM at the acceptance cell (16 policies, k = 64); fails the
+/// process if the batched path has regressed below the per-policy loop.
+fn quick_guard() -> ! {
+    use dispersal_bench::guard;
+    let qs = qs();
+    let (p, k) = (16usize, 64usize);
+    let rows = policy_rows(p, k);
+    let tables: Vec<GTable> =
+        rows.iter().map(|r| GTable::from_coefficients(r.clone()).unwrap()).collect();
+    let batch = GBatch::from_rows(rows).unwrap();
+    let mut out = vec![0.0; p * GRID];
+    let loop_time = guard::time_per_call(10, || {
+        for (r, table) in tables.iter().enumerate() {
+            let mut scratch = table.scratch();
+            table
+                .eval_many_with(&mut scratch, black_box(&qs), &mut out[r * GRID..(r + 1) * GRID])
+                .unwrap();
+        }
+        black_box(out[GRID / 2]);
+    });
+    let mut scratch = batch.scratch();
+    let gemm_time = guard::time_per_call(10, || {
+        batch.eval_fused_many_into(&mut scratch, black_box(&qs), &mut out).unwrap();
+        black_box(out[GRID / 2]);
+    });
+    guard::finish(guard::check_speedup("batch gemm_speedup p=16 k=64", loop_time, gemm_time))
+}
+
+criterion_group!(benches, bench_batch);
+
+fn main() {
+    if dispersal_bench::guard::quick_mode() {
+        quick_guard();
+    }
+    benches();
+}

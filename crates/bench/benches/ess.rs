@@ -20,7 +20,7 @@
 //! * `barrier/kernel` — the rewired `invasion_barrier`: one shared
 //!   scratch, one site-value pass per point (bit-identical results).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use dispersal_core::ess::{ess_ledger, invasion_barrier, reference_ledger, LedgerEvaluator};
 use dispersal_core::payoff::PayoffContext;
 use dispersal_core::policy::Exclusive;
@@ -92,5 +92,30 @@ fn bench_ess(c: &mut Criterion) {
     group.finish();
 }
 
+/// CI guard mode (`-- --quick`): the pre-kernel scalar ledger vs the
+/// `PbTable` rank-update ledger at `k = 32`; fails the process if the
+/// kernel path has regressed below the scalar one.
+fn quick_guard() -> ! {
+    use dispersal_bench::guard;
+    let f = ValueProfile::zipf(SITES, 1.0, 1.0).unwrap();
+    let pi = Strategy::uniform(SITES).unwrap();
+    let k = 32;
+    let ctx = PayoffContext::new(&Exclusive, k).unwrap();
+    let sigma = sigma_star(&f, k).unwrap().strategy;
+    let scalar = guard::time_per_call(10, || {
+        black_box(reference_ledger(&ctx, &f, &sigma, black_box(&pi)).unwrap());
+    });
+    let kernel = guard::time_per_call(10, || {
+        black_box(ess_ledger(&ctx, &f, &sigma, black_box(&pi)).unwrap());
+    });
+    guard::finish(guard::check_speedup("ess ledger_kernel_speedup k=32", scalar, kernel))
+}
+
 criterion_group!(benches, bench_ess);
-criterion_main!(benches);
+
+fn main() {
+    if dispersal_bench::guard::quick_mode() {
+        quick_guard();
+    }
+    benches();
+}

@@ -15,7 +15,7 @@
 //! * `interp` — the optional dense cubic-Hermite grid: O(1) per point
 //!   within a measured 1e-12 error bound.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use dispersal_core::kernel::GTable;
 use dispersal_core::payoff::PayoffContext;
 use dispersal_core::policy::Sharing;
@@ -46,13 +46,13 @@ fn bench_g_grid(c: &mut Criterion) {
         let mut out = vec![0.0; GRID];
         group.bench_with_input(BenchmarkId::new("kernel", k), &k, |b, _| {
             b.iter(|| {
-                table.eval_many_with(&mut scratch, black_box(&qs), &mut out);
+                table.eval_many_with(&mut scratch, black_box(&qs), &mut out).unwrap();
                 black_box(out[GRID / 2])
             })
         });
         group.bench_with_input(BenchmarkId::new("fused", k), &k, |b, _| {
             b.iter(|| {
-                table.eval_fused_many_into(black_box(&qs), &mut out);
+                table.eval_fused_many_into(black_box(&qs), &mut out).unwrap();
                 black_box(out[GRID / 2])
             })
         });
@@ -60,7 +60,7 @@ fn bench_g_grid(c: &mut Criterion) {
         let mut gscratch = gridded.scratch();
         group.bench_with_input(BenchmarkId::new("interp", k), &k, |b, _| {
             b.iter(|| {
-                gridded.eval_fast_many_with(&mut gscratch, black_box(&qs), &mut out);
+                gridded.eval_fast_many_with(&mut gscratch, black_box(&qs), &mut out).unwrap();
                 black_box(out[GRID / 2])
             })
         });
@@ -68,5 +68,34 @@ fn bench_g_grid(c: &mut Criterion) {
     group.finish();
 }
 
+/// CI guard mode (`-- --quick`): scalar reference vs the fused kernel at
+/// `k = 64` over the same 1024-point grid; fails the process if
+/// `fused_speedup` has regressed below 1.
+fn quick_guard() -> ! {
+    use dispersal_bench::guard;
+    let qs = qs();
+    let ctx = PayoffContext::new(&Sharing, 64).unwrap();
+    let table = ctx.kernel();
+    let mut out = vec![0.0; GRID];
+    let scalar = guard::time_per_call(20, || {
+        let mut acc = 0.0;
+        for &q in &qs {
+            acc += ctx.g(black_box(q)).unwrap();
+        }
+        black_box(acc);
+    });
+    let fused = guard::time_per_call(20, || {
+        table.eval_fused_many_into(black_box(&qs), &mut out).unwrap();
+        black_box(out[GRID / 2]);
+    });
+    guard::finish(guard::check_speedup("kernel fused_speedup k=64", scalar, fused))
+}
+
 criterion_group!(benches, bench_g_grid);
-criterion_main!(benches);
+
+fn main() {
+    if dispersal_bench::guard::quick_mode() {
+        quick_guard();
+    }
+    benches();
+}

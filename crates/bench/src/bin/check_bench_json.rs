@@ -1,0 +1,269 @@
+//! `check_bench_json` — CI guard for the repo-root `BENCH_*.json`
+//! performance trajectories.
+//!
+//! Those files are the evidence trail behind every kernel PR (scalar →
+//! tabulated → batched), and their contract is append-only measurement
+//! history. This binary validates each file with the vendored serde
+//! codec:
+//!
+//! * the file parses as a JSON object with non-empty `bench` and
+//!   `description` strings and a non-empty `history` array;
+//! * every history entry carries a `date` (ISO `YYYY-MM-DD`), a `pr`
+//!   number ≥ 1, and a non-empty `results` array;
+//! * entry dates are monotone non-decreasing (history is appended, never
+//!   rewritten or reordered);
+//! * every value inside a result row is a finite number, a string, or a
+//!   boolean — no nulls, NaNs, or nested containers.
+//!
+//! Usage: `check_bench_json [FILE...]` — with no arguments it scans the
+//! workspace root (located by walking up from the current directory) for
+//! `BENCH_*.json`. Exits non-zero listing every violation.
+
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The workspace root per the shared detection rule, falling back to the
+/// current directory when no ancestor matches.
+fn workspace_root() -> PathBuf {
+    dispersal_bench::workspace_root().unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Parse an ISO `YYYY-MM-DD` date into a lexicographically ordered key.
+fn parse_date(s: &str) -> Option<(u32, u32, u32)> {
+    let bytes = s.as_bytes();
+    if bytes.len() != 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let year: u32 = s[0..4].parse().ok()?;
+    let month: u32 = s[5..7].parse().ok()?;
+    let day: u32 = s[8..10].parse().ok()?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    Some((year, month, day))
+}
+
+fn field<'v>(entries: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+    entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Require a non-empty string field, recording a violation otherwise.
+fn check_string(entries: &[(String, Value)], name: &str, errors: &mut Vec<String>) {
+    match field(entries, name) {
+        Some(Value::Str(s)) if !s.is_empty() => {}
+        Some(_) => errors.push(format!("`{name}` must be a non-empty string")),
+        None => errors.push(format!("missing `{name}` field")),
+    }
+}
+
+/// One result-row value: finite number, string, or bool.
+fn check_result_value(key: &str, v: &Value, entry: usize, errors: &mut Vec<String>) {
+    match v {
+        Value::Float(f) if !f.is_finite() => {
+            errors.push(format!("history[{entry}]: result field `{key}` is not finite ({f})"))
+        }
+        Value::Float(_) | Value::Int(_) | Value::UInt(_) | Value::Str(_) | Value::Bool(_) => {}
+        other => errors.push(format!(
+            "history[{entry}]: result field `{key}` must be a scalar, got {other:?}"
+        )),
+    }
+}
+
+fn validate(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let value: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("does not parse as JSON: {e}")],
+    };
+    let Some(top) = value.as_object() else {
+        return vec!["top level must be a JSON object".into()];
+    };
+    check_string(top, "bench", &mut errors);
+    check_string(top, "description", &mut errors);
+    let history = match field(top, "history") {
+        Some(Value::Array(entries)) if !entries.is_empty() => entries.as_slice(),
+        Some(Value::Array(_)) => {
+            errors.push("`history` must be non-empty (record at least one measurement)".into());
+            return errors;
+        }
+        Some(_) => {
+            errors.push("`history` must be an array".into());
+            return errors;
+        }
+        None => {
+            errors.push("missing `history` field".into());
+            return errors;
+        }
+    };
+    let mut last_date: Option<(u32, u32, u32)> = None;
+    for (i, entry) in history.iter().enumerate() {
+        let Some(obj) = entry.as_object() else {
+            errors.push(format!("history[{i}] must be an object"));
+            continue;
+        };
+        match field(obj, "date").and_then(|v| v.as_str()) {
+            Some(s) => match parse_date(s) {
+                Some(date) => {
+                    if let Some(prev) = last_date {
+                        if date < prev {
+                            errors.push(format!(
+                                "history[{i}]: date {s} precedes the previous entry — \
+                                 history must stay append-only (monotone dates)"
+                            ));
+                        }
+                    }
+                    last_date = Some(date);
+                }
+                None => errors.push(format!("history[{i}]: date `{s}` is not YYYY-MM-DD")),
+            },
+            None => errors.push(format!("history[{i}]: missing string `date`")),
+        }
+        match field(obj, "pr") {
+            Some(Value::UInt(n)) if *n >= 1 => {}
+            Some(Value::Int(n)) if *n >= 1 => {}
+            Some(_) => errors.push(format!("history[{i}]: `pr` must be an integer >= 1")),
+            None => errors.push(format!("history[{i}]: missing `pr` number")),
+        }
+        match field(obj, "results") {
+            Some(Value::Array(rows)) if !rows.is_empty() => {
+                for (j, row) in rows.iter().enumerate() {
+                    match row.as_object() {
+                        Some(fields) if !fields.is_empty() => {
+                            for (key, v) in fields {
+                                check_result_value(key, v, i, &mut errors);
+                            }
+                        }
+                        _ => errors
+                            .push(format!("history[{i}].results[{j}] must be a non-empty object")),
+                    }
+                }
+            }
+            Some(_) | None => {
+                errors.push(format!("history[{i}]: `results` must be a non-empty array"))
+            }
+        }
+    }
+    errors
+}
+
+fn check_file(path: &Path) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Ok(validate(&text))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<PathBuf> = if args.is_empty() {
+        let root = workspace_root();
+        let mut found: Vec<PathBuf> = match std::fs::read_dir(&root) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                })
+                .collect(),
+            Err(e) => {
+                eprintln!("error: cannot scan {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        found.sort();
+        found
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+    if files.is_empty() {
+        eprintln!("error: no BENCH_*.json files found");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &files {
+        match check_file(path) {
+            Ok(errors) if errors.is_empty() => println!("OK {}", path.display()),
+            Ok(errors) => {
+                failed = true;
+                eprintln!("FAIL {}", path.display());
+                for e in errors {
+                    eprintln!("  - {e}");
+                }
+            }
+            Err(e) => {
+                failed = true;
+                eprintln!("FAIL {e}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("{} trajectory file(s) valid", files.len());
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_minimal_valid_trajectory() {
+        let text = r#"{
+          "bench": "x", "description": "d",
+          "history": [
+            {"date": "2026-07-30", "pr": 3, "results": [{"k": 4, "speedup": 2.5}]},
+            {"date": "2026-07-31", "pr": 5, "results": [{"k": 4, "speedup": 3.0}]}
+          ]
+        }"#;
+        assert!(validate(text).is_empty(), "{:?}", validate(text));
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        assert!(!validate("not json").is_empty());
+        assert!(!validate("[]").is_empty());
+        // Empty history.
+        let empty = r#"{"bench": "x", "description": "d", "history": []}"#;
+        assert!(validate(empty).iter().any(|e| e.contains("non-empty")));
+        // Non-monotone dates (history rewritten/reordered).
+        let reordered = r#"{
+          "bench": "x", "description": "d",
+          "history": [
+            {"date": "2026-07-31", "pr": 1, "results": [{"a": 1}]},
+            {"date": "2026-07-30", "pr": 2, "results": [{"a": 1}]}
+          ]
+        }"#;
+        assert!(validate(reordered).iter().any(|e| e.contains("append-only")));
+        // Missing fields and empty results.
+        let sparse = r#"{
+          "bench": "x", "description": "d",
+          "history": [{"date": "2026-13-01", "results": []}]
+        }"#;
+        let errors = validate(sparse);
+        assert!(errors.iter().any(|e| e.contains("pr")));
+        assert!(errors.iter().any(|e| e.contains("results")));
+        assert!(errors.iter().any(|e| e.contains("YYYY-MM-DD")));
+    }
+
+    #[test]
+    fn the_repo_trajectories_are_valid() {
+        // The real BENCH_*.json files at the workspace root must pass the
+        // same gate CI runs.
+        let root = workspace_root();
+        let mut seen = 0;
+        for entry in std::fs::read_dir(&root).unwrap().filter_map(|e| e.ok()) {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                seen += 1;
+                let errors = check_file(&path).unwrap();
+                assert!(errors.is_empty(), "{name}: {errors:?}");
+            }
+        }
+        assert!(seen >= 4, "expected the recorded trajectories at the repo root, saw {seen}");
+    }
+}

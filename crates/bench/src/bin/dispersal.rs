@@ -8,6 +8,7 @@
 //! dispersal spoa       --policy <spec> --profile <spec> -k <n>
 //! dispersal ess        --profile <spec> -k <n> [--mutants <n>]
 //! dispersal evaluate   --profile <spec> -k <n>          # whole catalog
+//! dispersal responses  -k <n>           # catalog g-curves, one GBatch row each
 //! ```
 //!
 //! Policy specs: `exclusive | sharing | constant | two-level:<c> |
@@ -18,15 +19,15 @@
 
 use dispersal_bench::runner::parse_flags;
 use dispersal_core::prelude::*;
-use dispersal_mech::catalog::{parse_policy, parse_profile};
-use dispersal_mech::evaluator::evaluate_catalog;
+use dispersal_mech::catalog::{parse_policy, parse_profile, standard_catalog};
+use dispersal_mech::evaluator::{catalog_response_matrix, evaluate_catalog};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: dispersal <solve|sigma-star|optimal|spoa|ess|evaluate> \
-                     [--policy <spec>] --profile <spec> -k <n> [--mutants <n>] [--seed <n>]\n\
+const USAGE: &str = "usage: dispersal <solve|sigma-star|optimal|spoa|ess|evaluate|responses> \
+                     [--policy <spec>] [--profile <spec>] -k <n> [--mutants <n>] [--seed <n>]\n\
                      run `dispersal help` for spec syntax";
 
 /// Flag table for the shared parser in `dispersal_bench::runner`.
@@ -170,6 +171,29 @@ fn run() -> Result<()> {
                     e.spoa,
                     e.equilibrium_payoff,
                     e.ifd_support
+                );
+            }
+        }
+        "responses" => {
+            // The whole catalog evaluated as one policy-major GBatch: every
+            // mechanism is one row against a shared Bernstein basis column.
+            let k = get_k(&flags)?;
+            let catalog = standard_catalog();
+            let resolution = 256;
+            let response = catalog_response_matrix(&catalog, k, resolution)?;
+            println!(
+                "{:<20} {:>10} {:>10} {:>10} {:>11}",
+                "policy", "g(0.25)", "g(0.5)", "g(0.75)", "tolerance"
+            );
+            for (r, name) in response.names.iter().enumerate() {
+                let row = response.row(r);
+                println!(
+                    "{:<20} {:>10.5} {:>10.5} {:>10.5} {:>11.5}",
+                    name,
+                    row[resolution / 4],
+                    row[resolution / 2],
+                    row[3 * resolution / 4],
+                    response.tolerance_score[r]
                 );
             }
         }

@@ -4,28 +4,37 @@
 //! (and ASCII plots) under `results/` at the workspace root and echoing a
 //! summary to stdout. The [`runner`] module is the shared driver: common
 //! flag parsing (`--trials/--seed/--jobs/--out-dir`), wall-clock
-//! reporting, and per-run JSON manifests.
+//! reporting, and per-run JSON manifests. The [`guard`] module backs the
+//! benches' `--quick` CI mode (speedup floors over scalar baselines).
 
+pub mod guard;
 pub mod runner;
 
 use std::path::PathBuf;
 
-/// Resolve the `results/` directory: respects `DISPERSAL_RESULTS_DIR`, else
-/// walks up from the current directory to the workspace root (detected by
-/// the presence of `Cargo.toml` + `crates/`), else uses `./results`.
+/// Walk up from the current directory to the workspace root, detected by
+/// the presence of `Cargo.toml` + `crates/`. `None` when no ancestor
+/// matches. The single root-detection rule shared by [`results_dir`] and
+/// the `check_bench_json` trajectory guard.
+pub fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Resolve the `results/` directory: respects `DISPERSAL_RESULTS_DIR`,
+/// else [`workspace_root`]`/results`, else `./results`.
 pub fn results_dir() -> PathBuf {
     if let Ok(dir) = std::env::var("DISPERSAL_RESULTS_DIR") {
         return PathBuf::from(dir);
     }
-    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    loop {
-        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
-            return dir.join("results");
-        }
-        if !dir.pop() {
-            return PathBuf::from("results");
-        }
-    }
+    workspace_root().map_or_else(|| PathBuf::from("results"), |root| root.join("results"))
 }
 
 /// Write `contents` to `results/<name>`, creating the directory if needed.

@@ -79,6 +79,16 @@ pub enum Error {
         /// The rejected tolerance.
         tol: f64,
     },
+    /// Two caller-supplied buffers that must be the same length (batched
+    /// kernel inputs/outputs) were not.
+    LengthMismatch {
+        /// Which entry point detected the mismatch.
+        what: &'static str,
+        /// The length the call required.
+        expected: usize,
+        /// The length the caller supplied.
+        got: usize,
+    },
     /// Generic invalid argument.
     InvalidArgument(String),
     /// An I/O operation failed (experiment output, result files). Stores
@@ -135,6 +145,9 @@ impl fmt::Display for Error {
             Error::InvalidTolerance { tol } => {
                 write!(out, "tolerance must be positive and finite, got {tol}")
             }
+            Error::LengthMismatch { what, expected, got } => {
+                write!(out, "{what}: expected a slice of length {expected}, got {got}")
+            }
             Error::InvalidArgument(msg) => write!(out, "invalid argument: {msg}"),
             Error::Io(msg) => write!(out, "I/O error: {msg}"),
         }
@@ -166,6 +179,7 @@ mod tests {
             Error::NoConvergence { what: "ifd", residual: 1e-3 },
             Error::ProbabilityOutOfRange { q: 1.5 },
             Error::InvalidTolerance { tol: -1e-9 },
+            Error::LengthMismatch { what: "eval_many_with", expected: 3, got: 2 },
             Error::InvalidArgument("x".into()),
             Error::Io("disk full".into()),
         ];

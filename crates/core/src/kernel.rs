@@ -38,6 +38,21 @@
 //! `b_{j+1,n}(q) = b_{j,n}(q)·(n−j)/(j+1)·q/(1−q)`, which walks the whole
 //! Bernstein row from a single seeded term without touching a factorial.
 //!
+//! ## The policy-batched sibling: [`GBatch`]
+//!
+//! `GTable` amortizes per-`(C, k)` setup across many points of one
+//! policy. Multi-policy workloads — SPoA-vs-`k` panels, the mechanism
+//! catalog in `dispersal-mech`, response-grid sweeps — evaluate the *same*
+//! q-grid against *many* policies, and the Bernstein basis column
+//! `b_{j,k−1}(q)` they all dot against depends only on `(q, k)`.
+//! [`GBatch`] stores the policies as a policy-major coefficient matrix
+//! (rows zero-padded to a small block width), builds that shared column
+//! once per point, and finishes every policy with a blocked matrix–vector
+//! product — a GEMM, the exact shape a wgpu/CUDA backend consumes. Mixed
+//! player counts split into one `GBatch` per `k` (*k-tiles*). Like
+//! `GTable` it has a bit-identical reference mode ([`GBatch::eval_with`])
+//! and a fused throughput mode ([`GBatch::eval_fused_into`]).
+//!
 //! ## The heterogeneous sibling: [`PbTable`]
 //!
 //! `GTable` covers the *symmetric* case — every opponent visits with the
@@ -161,9 +176,8 @@ fn fill_pmf(ln_binom: &[f64], q: f64, out: &mut [f64]) {
         out[n] = 1.0;
         return;
     }
-    let mode = (((n + 1) as f64) * q).floor().min(n as f64) as usize;
-    let ln_mode = ln_binom[mode] + (mode as f64) * q.ln() + ((n - mode) as f64) * (1.0 - q).ln();
-    out[mode] = ln_mode.exp();
+    let (mode, b_mode) = seed_mode(ln_binom, n, q);
+    out[mode] = b_mode;
     let ratio = q / (1.0 - q);
     for j in mode..n {
         out[j + 1] = out[j] * ((n - j) as f64) / ((j + 1) as f64) * ratio;
@@ -171,6 +185,46 @@ fn fill_pmf(ln_binom: &[f64], q: f64, out: &mut [f64]) {
     for j in (0..mode).rev() {
         out[j] = out[j + 1] * ((j + 1) as f64) / ((n - j) as f64) / ratio;
     }
+}
+
+/// Seed a degree-`n` Bernstein/PMF walk at its mode for `q ∈ (0, 1)`:
+/// `(mode, b_mode)` from the precomputed log-binomial row. Every walk in
+/// this module — [`fill_pmf`], [`GTable::eval_fused`], and [`GBatch`]'s
+/// shared basis column — starts from this exact operation sequence, which
+/// is what keeps their cross-contracts (bitwise / 1e-13) stable.
+#[inline]
+fn seed_mode(ln_row: &[f64], n: usize, q: f64) -> (usize, f64) {
+    let mode = (((n + 1) as f64) * q).floor().min(n as f64) as usize;
+    let ln_mode = ln_row[mode] + (mode as f64) * q.ln() + ((n - mode) as f64) * (1.0 - q).ln();
+    (mode, ln_mode.exp())
+}
+
+/// Pre-divided fused-walk ratio factors for degree `n`:
+/// upward `(n−j)/(j+1)` and downward `(j+1)/(n−j)`, `j = 0..n`.
+fn fused_factors(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let up = (0..n).map(|j| ((n - j) as f64) / ((j + 1) as f64)).collect();
+    let down = (0..n).map(|j| ((j + 1) as f64) / ((n - j) as f64)).collect();
+    (up, down)
+}
+
+/// Reject non-finite congestion coefficients (shared by [`GTable`] and
+/// [`GBatch`] construction so both report the same error).
+fn check_finite_coeffs(coeffs: &[f64]) -> Result<()> {
+    if let Some((j, &v)) = coeffs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+        return Err(Error::InvalidArgument(format!(
+            "congestion coefficient C({}) = {v} is not finite",
+            j + 1
+        )));
+    }
+    Ok(())
+}
+
+/// Reject mismatched batched-slice lengths with the typed error path.
+fn check_len(what: &'static str, expected: usize, got: usize) -> Result<()> {
+    if expected != got {
+        return Err(Error::LengthMismatch { what, expected, got });
+    }
+    Ok(())
 }
 
 /// `ln C(n, j)` for `j = 0..=n`, built from one prefix-sum pass over
@@ -202,18 +256,12 @@ impl GTable {
         if coeffs.is_empty() {
             return Err(Error::InvalidPlayerCount { k: 0 });
         }
-        if let Some((j, &v)) = coeffs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
-            return Err(Error::InvalidArgument(format!(
-                "congestion coefficient C({}) = {v} is not finite",
-                j + 1
-            )));
-        }
+        check_finite_coeffs(&coeffs)?;
         let n = coeffs.len() - 1;
         let dcoeffs: Vec<f64> = coeffs.windows(2).map(|w| w[1] - w[0]).collect();
         let ln_binom = ln_binom_row(n);
         let ln_binom_prime = if n == 0 { Vec::new() } else { ln_binom_row(n - 1) };
-        let up: Vec<f64> = (0..n).map(|j| ((n - j) as f64) / ((j + 1) as f64)).collect();
-        let down: Vec<f64> = (0..n).map(|j| ((j + 1) as f64) / ((n - j) as f64)).collect();
+        let (up, down) = fused_factors(n);
         Ok(Self { coeffs, dcoeffs, ln_binom, ln_binom_prime, up, down, grid: None })
     }
 
@@ -272,19 +320,26 @@ impl GTable {
     }
 
     /// Batched exact evaluation into `out` (`out.len() == qs.len()`),
-    /// reusing `scratch` across all points.
-    pub fn eval_many_with(&self, scratch: &mut GScratch, qs: &[f64], out: &mut [f64]) {
-        assert_eq!(qs.len(), out.len(), "eval_many_with: qs/out length mismatch");
+    /// reusing `scratch` across all points. A length mismatch is reported
+    /// as [`Error::LengthMismatch`] and leaves `out` untouched.
+    pub fn eval_many_with(
+        &self,
+        scratch: &mut GScratch,
+        qs: &[f64],
+        out: &mut [f64],
+    ) -> Result<()> {
+        check_len("GTable::eval_many_with", qs.len(), out.len())?;
         for (slot, &q) in out.iter_mut().zip(qs.iter()) {
             *slot = self.eval_with(scratch, q);
         }
+        Ok(())
     }
 
     /// Batched exact evaluation, one internal scratch for the whole slice.
     pub fn eval_many(&self, qs: &[f64]) -> Vec<f64> {
         let mut scratch = self.scratch();
         let mut out = vec![0.0; qs.len()];
-        self.eval_many_with(&mut scratch, qs, &mut out);
+        self.eval_many_with(&mut scratch, qs, &mut out).expect("out sized to qs above");
         out
     }
 
@@ -308,10 +363,7 @@ impl GTable {
         if q >= 1.0 {
             return self.coeffs[n];
         }
-        let mode = (((n + 1) as f64) * q).floor().min(n as f64) as usize;
-        let ln_mode =
-            self.ln_binom[mode] + (mode as f64) * q.ln() + ((n - mode) as f64) * (1.0 - q).ln();
-        let b_mode = ln_mode.exp();
+        let (mode, b_mode) = seed_mode(&self.ln_binom, n, q);
         let ratio = q / (1.0 - q);
         let inv_ratio = (1.0 - q) / q;
         let mut sum = b_mode * self.coeffs[mode];
@@ -328,12 +380,14 @@ impl GTable {
         sum
     }
 
-    /// Batched [`Self::eval_fused`] into `out` (`out.len() == qs.len()`).
-    pub fn eval_fused_many_into(&self, qs: &[f64], out: &mut [f64]) {
-        assert_eq!(qs.len(), out.len(), "eval_fused_many_into: qs/out length mismatch");
+    /// Batched [`Self::eval_fused`] into `out` (`out.len() == qs.len()`);
+    /// mismatched lengths are [`Error::LengthMismatch`].
+    pub fn eval_fused_many_into(&self, qs: &[f64], out: &mut [f64]) -> Result<()> {
+        check_len("GTable::eval_fused_many_into", qs.len(), out.len())?;
         for (slot, &q) in out.iter_mut().zip(qs.iter()) {
             *slot = self.eval_fused(q);
         }
+        Ok(())
     }
 
     /// Exact derivative `g'(q)` with caller-owned scratch — bit-identical
@@ -360,12 +414,19 @@ impl GTable {
         self.eval_prime_with(&mut self.scratch(), q)
     }
 
-    /// Batched exact derivatives into `out`.
-    pub fn eval_prime_many_with(&self, scratch: &mut GScratch, qs: &[f64], out: &mut [f64]) {
-        assert_eq!(qs.len(), out.len(), "eval_prime_many_with: qs/out length mismatch");
+    /// Batched exact derivatives into `out` (`out.len() == qs.len()`);
+    /// mismatched lengths are [`Error::LengthMismatch`].
+    pub fn eval_prime_many_with(
+        &self,
+        scratch: &mut GScratch,
+        qs: &[f64],
+        out: &mut [f64],
+    ) -> Result<()> {
+        check_len("GTable::eval_prime_many_with", qs.len(), out.len())?;
         for (slot, &q) in out.iter_mut().zip(qs.iter()) {
             *slot = self.eval_prime_with(scratch, q);
         }
+        Ok(())
     }
 
     /// Attach a dense cubic-Hermite grid so [`Self::eval_fast_with`]
@@ -457,18 +518,408 @@ impl GTable {
         }
     }
 
-    /// Batched fast evaluation into `out` (grid-backed when available).
-    pub fn eval_fast_many_with(&self, scratch: &mut GScratch, qs: &[f64], out: &mut [f64]) {
-        assert_eq!(qs.len(), out.len(), "eval_fast_many_with: qs/out length mismatch");
+    /// Batched fast evaluation into `out` (grid-backed when available);
+    /// mismatched lengths are [`Error::LengthMismatch`].
+    pub fn eval_fast_many_with(
+        &self,
+        scratch: &mut GScratch,
+        qs: &[f64],
+        out: &mut [f64],
+    ) -> Result<()> {
+        check_len("GTable::eval_fast_many_with", qs.len(), out.len())?;
         match &self.grid {
             Some(grid) => {
                 for (slot, &q) in out.iter_mut().zip(qs.iter()) {
                     debug_assert!((-1e-12..=1.0 + 1e-12).contains(&q), "q out of range: {q}");
                     *slot = grid.eval(q.clamp(0.0, 1.0));
                 }
+                Ok(())
             }
             None => self.eval_many_with(scratch, qs, out),
         }
+    }
+}
+
+/// Row-block width of the policy-major GEMM in [`GBatch`]: the coefficient
+/// matrix is padded with zero rows to a multiple of this, so the inner
+/// product always runs a full block of independent accumulators (ILP
+/// instead of one serial add chain) and the row loop needs no scalar tail.
+const GEMM_BLOCK: usize = 4;
+
+/// Structure-of-arrays evaluator for *many* congestion policies sharing
+/// one player count `k` — the policy-batched sibling of [`GTable`].
+///
+/// A [`GTable`] amortizes per-`(C, k)` setup across many `q` points; a
+/// `GBatch` amortizes the per-`q` work across many policies. It holds a
+/// **policy-major coefficient matrix** (row `r` = policy `r`'s Bernstein
+/// coefficients `[C_r(1), …, C_r(k)]`, rows zero-padded to the GEMM block
+/// width), and evaluates a whole q-grid against every row at once:
+///
+/// ```text
+///            shared basis column          policy-major matrix
+///   q ──►  [b₀(q) … b_{k−1}(q)]ᵀ   ×   [ C₀(1) … C₀(k) ]      ┐
+///          (one Bernstein walk,        [ C₁(1) … C₁(k) ]      │ rows =
+///           reused by every row)       [   ⋮        ⋮  ]      │ policies
+///                                      [ C_{P−1}(1) … ]      ┘
+///                                      [ 0 … 0 (padding to a ]
+///                                      [ multiple of 4 rows) ]
+/// ```
+///
+/// Per grid point the binomial Bernstein column is built **once** (the
+/// same ratio recurrence [`GTable`] uses, into a caller-owned
+/// [`GScratch`]), then a blocked matrix–vector product finishes all
+/// policies — `O(k)` transcendentals per point *total* instead of per
+/// policy, and the dot products run `GEMM_BLOCK` independent accumulator
+/// chains. Mixed-`k` workloads split into one `GBatch` per `k` (a
+/// *k-tile*), since the Bernstein degree is `k − 1`.
+///
+/// Two modes, mirroring [`GTable`]'s contract:
+///
+/// * [`GBatch::eval_with`] / [`GBatch::eval_many_with`] — reference mode:
+///   the shared column is the exact binomial PMF of [`GTable::eval_with`]
+///   and each row is finished with the same Kahan dot, so every output is
+///   **bit-identical** to the corresponding per-policy
+///   [`GTable::eval_with`] (and therefore to the scalar
+///   [`crate::payoff::PayoffContext::g`]).
+/// * [`GBatch::eval_fused_into`] / [`GBatch::eval_fused_many_into`] — the
+///   GEMM fast path: the column is built with [`GTable::eval_fused`]'s
+///   pre-divided factors and rows are finished with plain blocked dots.
+///   Agrees with per-policy `eval_fused` to `O(k·ε)` (CI enforces
+///   1e-13 × [`GBatch::scale`] at `k = 256`).
+///
+/// Derivative variants ([`GBatch::eval_prime_with`],
+/// [`GBatch::eval_prime_fused_many_into`]) run the same split over the
+/// degree-`(k−2)` basis and the forward-difference rows, for gradient
+/// consumers. This layout — shared basis column × policy-major matrix — is
+/// the staging ground for a wgpu/CUDA GEMM backend.
+#[derive(Debug, Clone)]
+pub struct GBatch {
+    /// Policy-major coefficient matrix, row-major storage: row `r` lives
+    /// at `coeffs[r·k .. (r+1)·k]`; rows `rows..padded` are zero padding.
+    coeffs: Vec<f64>,
+    /// Row-major forward differences `C_r(j+2) − C_r(j+1)`
+    /// (`padded × (k−1)`) — up to the factor `n = k − 1`, the Bernstein
+    /// coefficients of each row's `g'`.
+    dcoeffs: Vec<f64>,
+    /// Real policy count (rows of the matrix that carry data; the
+    /// storage above holds `rows.div_ceil(GEMM_BLOCK) · GEMM_BLOCK` rows).
+    rows: usize,
+    /// Player count shared by every row (columns of the matrix).
+    k: usize,
+    /// `ln C(k−1, j)` — the shared basis row (identical to the one every
+    /// per-policy [`GTable`] at this `k` builds).
+    ln_binom: Vec<f64>,
+    /// `ln C(k−2, j)` for the derivative basis (empty when `k = 1`).
+    ln_binom_prime: Vec<f64>,
+    /// Pre-divided upward factors `(n−j)/(j+1)` for the fused basis walk.
+    up: Vec<f64>,
+    /// Pre-divided downward factors `(j+1)/(n−j)` for the fused walk.
+    down: Vec<f64>,
+    /// Fused factors for the degree-`(n−1)` derivative basis.
+    up_prime: Vec<f64>,
+    /// Downward fused factors for the derivative basis.
+    down_prime: Vec<f64>,
+}
+
+/// Blocked GEMV over the padded policy-major matrix:
+/// `out[r] = factor · Σ_j basis[j] · matrix[r·cols + j]` for the `rows`
+/// real rows, running [`GEMM_BLOCK`] independent accumulator chains.
+fn gemv_blocked(
+    matrix: &[f64],
+    cols: usize,
+    rows: usize,
+    basis: &[f64],
+    factor: f64,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(basis.len(), cols);
+    let mut r = 0;
+    while r < rows {
+        let base = r * cols;
+        let block = &matrix[base..base + GEMM_BLOCK * cols];
+        let (r0, rest) = block.split_at(cols);
+        let (r1, rest) = rest.split_at(cols);
+        let (r2, r3) = rest.split_at(cols);
+        let mut acc = [0.0f64; GEMM_BLOCK];
+        for (j, &b) in basis.iter().enumerate() {
+            acc[0] += b * r0[j];
+            acc[1] += b * r1[j];
+            acc[2] += b * r2[j];
+            acc[3] += b * r3[j];
+        }
+        for (lane, &a) in acc.iter().enumerate() {
+            if r + lane < rows {
+                out[r + lane] = factor * a;
+            }
+        }
+        r += GEMM_BLOCK;
+    }
+}
+
+impl GBatch {
+    /// Build a batch over `policies`, all evaluated at the same `k ≥ 1`,
+    /// validating the congestion axioms per policy (`C(1) = 1`,
+    /// non-increasing) exactly like [`GTable::new`].
+    pub fn new(policies: &[&dyn Congestion], k: usize) -> Result<Self> {
+        let rows: Vec<Vec<f64>> = policies
+            .iter()
+            .map(|c| crate::policy::validate_congestion(*c, k))
+            .collect::<Result<_>>()?;
+        Self::from_rows(rows)
+    }
+
+    /// Build a batch directly from coefficient rows `[C(1), …, C(k)]`
+    /// (one per policy, no `C(1) = 1` normalization check — the entry
+    /// point for scaled/designed tables). Every row must be non-empty,
+    /// finite, and the same length; a length disagreement is
+    /// [`Error::LengthMismatch`] against the first row.
+    pub fn from_rows(rows_in: Vec<Vec<f64>>) -> Result<Self> {
+        if rows_in.is_empty() {
+            return Err(Error::InvalidArgument("GBatch needs at least one policy row".into()));
+        }
+        let k = rows_in[0].len();
+        if k == 0 {
+            return Err(Error::InvalidPlayerCount { k: 0 });
+        }
+        for row in &rows_in {
+            check_len("GBatch::from_rows", k, row.len())?;
+            check_finite_coeffs(row)?;
+        }
+        let rows = rows_in.len();
+        let padded = rows.div_ceil(GEMM_BLOCK) * GEMM_BLOCK;
+        let n = k - 1;
+        let mut coeffs = vec![0.0; padded * k];
+        let mut dcoeffs = vec![0.0; padded * n];
+        for (r, row) in rows_in.iter().enumerate() {
+            coeffs[r * k..(r + 1) * k].copy_from_slice(row);
+            for (slot, w) in dcoeffs[r * n..(r + 1) * n].iter_mut().zip(row.windows(2)) {
+                *slot = w[1] - w[0];
+            }
+        }
+        let ln_binom = ln_binom_row(n);
+        let ln_binom_prime = if n == 0 { Vec::new() } else { ln_binom_row(n - 1) };
+        let (up, down) = fused_factors(n);
+        let (up_prime, down_prime) = fused_factors(n.saturating_sub(1));
+        Ok(Self {
+            coeffs,
+            dcoeffs,
+            rows,
+            k,
+            ln_binom,
+            ln_binom_prime,
+            up,
+            down,
+            up_prime,
+            down_prime,
+        })
+    }
+
+    /// Number of policies (real rows; padding rows are not counted).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Player count `k` shared by every row.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Row `r`'s coefficient table `[C_r(1), …, C_r(k)]`.
+    pub fn row_coefficients(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &self.coeffs[r * self.k..(r + 1) * self.k]
+    }
+
+    /// Magnitude scale across the whole batch (for relative error
+    /// bounds): `max_{r,j} |C_r(j)|`, floored at 1.
+    pub fn scale(&self) -> f64 {
+        self.coeffs.iter().fold(1.0f64, |acc, &c| acc.max(c.abs()))
+    }
+
+    /// A scratch buffer sized for this batch's shared basis column (one
+    /// scratch serves both the value and derivative bases).
+    pub fn scratch(&self) -> GScratch {
+        GScratch { pmf: vec![0.0; self.k] }
+    }
+
+    /// Fill `basis[0..=n]` with the fused-path Bernstein column at `q` —
+    /// the exact `b` sequence [`GTable::eval_fused`] walks (pre-divided
+    /// factors, no serial division chain).
+    fn fill_basis_fused(&self, q: f64, basis: &mut [f64], prime: bool) {
+        let n = basis.len() - 1;
+        if n == 0 || q <= 0.0 {
+            basis.fill(0.0);
+            basis[0] = 1.0;
+            return;
+        }
+        if q >= 1.0 {
+            basis.fill(0.0);
+            basis[n] = 1.0;
+            return;
+        }
+        let (ln_row, up, down) = if prime {
+            (&self.ln_binom_prime, &self.up_prime, &self.down_prime)
+        } else {
+            (&self.ln_binom, &self.up, &self.down)
+        };
+        let (mode, b_mode) = seed_mode(ln_row, n, q);
+        basis[mode] = b_mode;
+        let ratio = q / (1.0 - q);
+        let inv_ratio = (1.0 - q) / q;
+        for j in mode..n {
+            basis[j + 1] = basis[j] * up[j] * ratio;
+        }
+        for j in (0..mode).rev() {
+            basis[j] = basis[j + 1] * down[j] * inv_ratio;
+        }
+    }
+
+    /// Reference mode at one point: `out[r] = g_{C_r}(q)` for every row,
+    /// each **bit-identical** to the per-policy [`GTable::eval_with`].
+    /// The shared binomial PMF is built once into `scratch`; each row is
+    /// finished with the reference Kahan dot. `out.len()` must equal
+    /// [`Self::rows`] ([`Error::LengthMismatch`] otherwise).
+    pub fn eval_with(&self, scratch: &mut GScratch, q: f64, out: &mut [f64]) -> Result<()> {
+        check_len("GBatch::eval_with", self.rows, out.len())?;
+        debug_assert!((-1e-12..=1.0 + 1e-12).contains(&q), "q out of range: {q}");
+        let q = q.clamp(0.0, 1.0);
+        let pmf = &mut scratch.pmf[..self.k];
+        fill_pmf(&self.ln_binom, q, pmf);
+        for (r, slot) in out.iter_mut().enumerate() {
+            let row = &self.coeffs[r * self.k..(r + 1) * self.k];
+            *slot = kahan_sum(pmf.iter().zip(row.iter()).map(|(p, c)| p * c));
+        }
+        Ok(())
+    }
+
+    /// Fused GEMM mode at one point: shared pre-divided basis column plus
+    /// a blocked matrix–vector product. Agrees with per-policy
+    /// [`GTable::eval_fused`] to `O(k·ε)` (≤ 1e-13 × [`Self::scale`],
+    /// proptested). `out.len()` must equal [`Self::rows`].
+    pub fn eval_fused_into(&self, scratch: &mut GScratch, q: f64, out: &mut [f64]) -> Result<()> {
+        check_len("GBatch::eval_fused_into", self.rows, out.len())?;
+        debug_assert!((-1e-12..=1.0 + 1e-12).contains(&q), "q out of range: {q}");
+        let q = q.clamp(0.0, 1.0);
+        let basis = &mut scratch.pmf[..self.k];
+        self.fill_basis_fused(q, basis, false);
+        gemv_blocked(&self.coeffs, self.k, self.rows, basis, 1.0, out);
+        Ok(())
+    }
+
+    /// Reference-mode grid evaluation, **policy-major** output:
+    /// `out[r · qs.len() + i] = g_{C_r}(qs[i])`, every entry bit-identical
+    /// to the per-policy [`GTable::eval_with`]. `out.len()` must be
+    /// `rows × qs.len()`.
+    pub fn eval_many_with(
+        &self,
+        scratch: &mut GScratch,
+        qs: &[f64],
+        out: &mut [f64],
+    ) -> Result<()> {
+        check_len("GBatch::eval_many_with", self.rows * qs.len(), out.len())?;
+        let nq = qs.len();
+        for (i, &q) in qs.iter().enumerate() {
+            debug_assert!((-1e-12..=1.0 + 1e-12).contains(&q), "q out of range: {q}");
+            let q = q.clamp(0.0, 1.0);
+            let pmf = &mut scratch.pmf[..self.k];
+            fill_pmf(&self.ln_binom, q, pmf);
+            for r in 0..self.rows {
+                let row = &self.coeffs[r * self.k..(r + 1) * self.k];
+                out[r * nq + i] = kahan_sum(pmf.iter().zip(row.iter()).map(|(p, c)| p * c));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fused-GEMM grid evaluation, policy-major output
+    /// (`out[r · qs.len() + i]`): one basis walk and one blocked product
+    /// per grid point for the whole batch. `out.len()` must be
+    /// `rows × qs.len()`.
+    pub fn eval_fused_many_into(
+        &self,
+        scratch: &mut GScratch,
+        qs: &[f64],
+        out: &mut [f64],
+    ) -> Result<()> {
+        check_len("GBatch::eval_fused_many_into", self.rows * qs.len(), out.len())?;
+        let nq = qs.len();
+        let mut col = vec![0.0; self.rows];
+        for (i, &q) in qs.iter().enumerate() {
+            debug_assert!((-1e-12..=1.0 + 1e-12).contains(&q), "q out of range: {q}");
+            let q = q.clamp(0.0, 1.0);
+            let basis = &mut scratch.pmf[..self.k];
+            self.fill_basis_fused(q, basis, false);
+            gemv_blocked(&self.coeffs, self.k, self.rows, basis, 1.0, &mut col);
+            for (r, &v) in col.iter().enumerate() {
+                out[r * nq + i] = v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reference-mode derivatives at one point: `out[r] = g'_{C_r}(q)`,
+    /// bit-identical to the per-policy [`GTable::eval_prime_with`].
+    pub fn eval_prime_with(&self, scratch: &mut GScratch, q: f64, out: &mut [f64]) -> Result<()> {
+        check_len("GBatch::eval_prime_with", self.rows, out.len())?;
+        let n = self.k - 1;
+        if n == 0 {
+            out.fill(0.0);
+            return Ok(());
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pmf = &mut scratch.pmf[..n];
+        fill_pmf(&self.ln_binom_prime, q, pmf);
+        for (r, slot) in out.iter_mut().enumerate() {
+            let drow = &self.dcoeffs[r * n..(r + 1) * n];
+            let mut acc = 0.0;
+            for (b, d) in pmf.iter().zip(drow.iter()) {
+                acc += b * d;
+            }
+            *slot = n as f64 * acc;
+        }
+        Ok(())
+    }
+
+    /// Fused-GEMM derivative grid, policy-major output
+    /// (`out[r · qs.len() + i] = g'_{C_r}(qs[i])`) — the gradient-consumer
+    /// variant: one degree-`(k−2)` basis walk per point, then a blocked
+    /// product against the forward-difference rows scaled by `k − 1`.
+    pub fn eval_prime_fused_many_into(
+        &self,
+        scratch: &mut GScratch,
+        qs: &[f64],
+        out: &mut [f64],
+    ) -> Result<()> {
+        check_len("GBatch::eval_prime_fused_many_into", self.rows * qs.len(), out.len())?;
+        let n = self.k - 1;
+        if n == 0 {
+            out.fill(0.0);
+            return Ok(());
+        }
+        let nq = qs.len();
+        let mut col = vec![0.0; self.rows];
+        for (i, &q) in qs.iter().enumerate() {
+            debug_assert!((-1e-12..=1.0 + 1e-12).contains(&q), "q out of range: {q}");
+            let q = q.clamp(0.0, 1.0);
+            let basis = &mut scratch.pmf[..n];
+            self.fill_basis_fused(q, basis, true);
+            gemv_blocked(&self.dcoeffs, n, self.rows, basis, n as f64, &mut col);
+            for (r, &v) in col.iter().enumerate() {
+                out[r * nq + i] = v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience fused-GEMM grid evaluation, allocating the policy-major
+    /// output matrix (`rows × qs.len()`).
+    pub fn eval_grid(&self, qs: &[f64]) -> Vec<f64> {
+        let mut scratch = self.scratch();
+        let mut out = vec![0.0; self.rows * qs.len()];
+        self.eval_fused_many_into(&mut scratch, qs, &mut out).expect("out sized above");
+        out
     }
 }
 
@@ -816,10 +1267,31 @@ mod tests {
         let table = GTable::new(&Sharing, 24).unwrap();
         let qs = grid_points(63);
         let mut out = vec![0.0; qs.len()];
-        table.eval_fused_many_into(&qs, &mut out);
+        table.eval_fused_many_into(&qs, &mut out).unwrap();
         for (&q, &v) in qs.iter().zip(out.iter()) {
             assert_eq!(v.to_bits(), table.eval_fused(q).to_bits());
         }
+    }
+
+    #[test]
+    fn many_entry_points_report_length_mismatch_as_typed_error() {
+        let table = GTable::new(&Sharing, 8).unwrap();
+        let mut scratch = table.scratch();
+        let qs = grid_points(10);
+        let mut short = vec![0.0; qs.len() - 1];
+        let expect_mismatch = |r: Result<()>| match r {
+            Err(Error::LengthMismatch { expected, got, .. }) => {
+                assert_eq!(expected, qs.len());
+                assert_eq!(got, qs.len() - 1);
+            }
+            other => panic!("expected LengthMismatch, got {other:?}"),
+        };
+        expect_mismatch(table.eval_many_with(&mut scratch, &qs, &mut short));
+        expect_mismatch(table.eval_prime_many_with(&mut scratch, &qs, &mut short));
+        expect_mismatch(table.eval_fused_many_into(&qs, &mut short));
+        expect_mismatch(table.eval_fast_many_with(&mut scratch, &qs, &mut short));
+        // The failed calls must not have touched the output buffer.
+        assert!(short.iter().all(|&v| v == 0.0));
     }
 
     #[test]
@@ -918,6 +1390,179 @@ mod tests {
         for &q in grid_points(50).iter() {
             assert_eq!(ctx.g(q).unwrap().to_bits(), table.eval(q).to_bits());
         }
+    }
+
+    /// Five catalog-like policies (odd count, so the GEMM padding rows are
+    /// exercised: 5 real rows pad to 8).
+    fn batch_policies() -> Vec<&'static dyn Congestion> {
+        vec![
+            &Exclusive,
+            &Sharing,
+            &TwoLevel { c: -0.4 },
+            &TwoLevel { c: 0.3 },
+            &PowerLaw { beta: 2.5 },
+        ]
+    }
+
+    #[test]
+    fn gbatch_reference_mode_is_bit_identical_to_per_policy_tables() {
+        for k in [1usize, 2, 5, 17, 64] {
+            let policies = batch_policies();
+            let batch = GBatch::new(&policies, k).unwrap();
+            assert_eq!(batch.rows(), policies.len());
+            assert_eq!(batch.k(), k);
+            let tables: Vec<GTable> =
+                policies.iter().map(|c| GTable::new(*c, k).unwrap()).collect();
+            let mut scratch = batch.scratch();
+            let mut out = vec![0.0; policies.len()];
+            let mut out_prime = vec![0.0; policies.len()];
+            for &q in grid_points(101).iter() {
+                batch.eval_with(&mut scratch, q, &mut out).unwrap();
+                batch.eval_prime_with(&mut scratch, q, &mut out_prime).unwrap();
+                for (r, table) in tables.iter().enumerate() {
+                    let mut ts = table.scratch();
+                    assert_eq!(
+                        out[r].to_bits(),
+                        table.eval_with(&mut ts, q).to_bits(),
+                        "row {r} k={k} q={q}"
+                    );
+                    assert_eq!(
+                        out_prime[r].to_bits(),
+                        table.eval_prime_with(&mut ts, q).to_bits(),
+                        "prime row {r} k={k} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gbatch_fused_matches_per_policy_eval_fused_to_contract() {
+        for k in [1usize, 2, 17, 64, 256] {
+            let policies = batch_policies();
+            let batch = GBatch::new(&policies, k).unwrap();
+            let tables: Vec<GTable> =
+                policies.iter().map(|c| GTable::new(*c, k).unwrap()).collect();
+            let mut scratch = batch.scratch();
+            let mut out = vec![0.0; policies.len()];
+            let tol = 1e-13 * batch.scale();
+            for &q in grid_points(257).iter() {
+                batch.eval_fused_into(&mut scratch, q, &mut out).unwrap();
+                for (r, table) in tables.iter().enumerate() {
+                    let reference = table.eval_fused(q);
+                    assert!(
+                        (out[r] - reference).abs() <= tol,
+                        "row {r} k={k} q={q}: {} vs {reference}",
+                        out[r]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gbatch_grid_is_policy_major_and_matches_pointwise() {
+        let policies = batch_policies();
+        let batch = GBatch::new(&policies, 24).unwrap();
+        let qs = grid_points(63);
+        let mut scratch = batch.scratch();
+        // Reference grid: every cell bit-identical to the single-point call.
+        let mut ref_grid = vec![0.0; batch.rows() * qs.len()];
+        batch.eval_many_with(&mut scratch, &qs, &mut ref_grid).unwrap();
+        let mut point = vec![0.0; batch.rows()];
+        for (i, &q) in qs.iter().enumerate() {
+            batch.eval_with(&mut scratch, q, &mut point).unwrap();
+            for r in 0..batch.rows() {
+                assert_eq!(ref_grid[r * qs.len() + i].to_bits(), point[r].to_bits());
+            }
+        }
+        // Fused grid (and the allocating convenience) match the fused point
+        // path bitwise.
+        let mut fused_grid = vec![0.0; batch.rows() * qs.len()];
+        batch.eval_fused_many_into(&mut scratch, &qs, &mut fused_grid).unwrap();
+        assert_eq!(batch.eval_grid(&qs), fused_grid);
+        for (i, &q) in qs.iter().enumerate() {
+            batch.eval_fused_into(&mut scratch, q, &mut point).unwrap();
+            for r in 0..batch.rows() {
+                assert_eq!(fused_grid[r * qs.len() + i].to_bits(), point[r].to_bits());
+            }
+        }
+        // Fused derivative grid against the bit-exact reference derivative.
+        let mut prime_grid = vec![0.0; batch.rows() * qs.len()];
+        batch.eval_prime_fused_many_into(&mut scratch, &qs, &mut prime_grid).unwrap();
+        let tables: Vec<GTable> = policies.iter().map(|c| GTable::new(*c, 24).unwrap()).collect();
+        let tol = 1e-13 * 24.0 * batch.scale();
+        for (r, table) in tables.iter().enumerate() {
+            let mut ts = table.scratch();
+            for (i, &q) in qs.iter().enumerate() {
+                let reference = table.eval_prime_with(&mut ts, q);
+                let got = prime_grid[r * qs.len() + i];
+                assert!((got - reference).abs() <= tol, "row {r} q={q}: {got} vs {reference}");
+            }
+        }
+    }
+
+    #[test]
+    fn gbatch_single_player_is_constant_with_zero_derivative() {
+        let batch = GBatch::new(&batch_policies(), 1).unwrap();
+        let mut scratch = batch.scratch();
+        let mut out = vec![0.0; batch.rows()];
+        for &q in &[0.0, 0.4, 1.0] {
+            batch.eval_fused_into(&mut scratch, q, &mut out).unwrap();
+            for (r, &v) in out.iter().enumerate() {
+                assert_eq!(v, batch.row_coefficients(r)[0], "row {r}");
+            }
+            batch.eval_prime_with(&mut scratch, q, &mut out).unwrap();
+            assert!(out.iter().all(|&v| v == 0.0));
+            let mut prime_grid = vec![1.0; batch.rows()];
+            batch.eval_prime_fused_many_into(&mut scratch, &[q], &mut prime_grid).unwrap();
+            assert!(prime_grid.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn gbatch_validates_rows_and_lengths() {
+        assert!(GBatch::from_rows(vec![]).is_err());
+        assert!(GBatch::from_rows(vec![vec![]]).is_err());
+        assert!(GBatch::from_rows(vec![vec![1.0, 0.5], vec![1.0, f64::NAN]]).is_err());
+        // Mixed k is a typed length mismatch — mixed player counts go in
+        // separate k-tiles.
+        assert!(matches!(
+            GBatch::from_rows(vec![vec![1.0, 0.5], vec![1.0, 0.5, 0.2]]),
+            Err(Error::LengthMismatch { expected: 2, got: 3, .. })
+        ));
+        // Scaled (C(1) != 1) rows are allowed, and scale() sees them.
+        let batch = GBatch::from_rows(vec![vec![1e9, 5e8], vec![1.0, 0.5]]).unwrap();
+        assert_eq!(batch.scale(), 1e9);
+        assert_eq!(batch.row_coefficients(1), &[1.0, 0.5]);
+        // Output-length mismatches are typed errors on every entry point.
+        let mut scratch = batch.scratch();
+        let mut short = vec![0.0; 1];
+        assert!(matches!(
+            batch.eval_with(&mut scratch, 0.5, &mut short),
+            Err(Error::LengthMismatch { expected: 2, got: 1, .. })
+        ));
+        assert!(matches!(
+            batch.eval_fused_into(&mut scratch, 0.5, &mut short),
+            Err(Error::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            batch.eval_prime_with(&mut scratch, 0.5, &mut short),
+            Err(Error::LengthMismatch { .. })
+        ));
+        let qs = [0.25, 0.75];
+        assert!(matches!(
+            batch.eval_many_with(&mut scratch, &qs, &mut short),
+            Err(Error::LengthMismatch { expected: 4, got: 1, .. })
+        ));
+        assert!(matches!(
+            batch.eval_fused_many_into(&mut scratch, &qs, &mut short),
+            Err(Error::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            batch.eval_prime_fused_many_into(&mut scratch, &qs, &mut short),
+            Err(Error::LengthMismatch { .. })
+        ));
     }
 
     #[test]

@@ -184,7 +184,7 @@ impl PayoffContext {
             return Err(Error::DimensionMismatch { strategy: out.len(), profile: f.len() });
         }
         let mut scratch = self.kernel.scratch();
-        self.kernel.eval_many_with(&mut scratch, p.probs(), out);
+        self.kernel.eval_many_with(&mut scratch, p.probs(), out)?;
         for (slot, &fx) in out.iter_mut().zip(f.values().iter()) {
             *slot *= fx;
         }
@@ -225,8 +225,8 @@ impl PayoffContext {
         let mut scratch = self.kernel.scratch();
         let mut gs = vec![0.0; m];
         let mut dgs = vec![0.0; m];
-        self.kernel.eval_many_with(&mut scratch, p.probs(), &mut gs);
-        self.kernel.eval_prime_many_with(&mut scratch, p.probs(), &mut dgs);
+        self.kernel.eval_many_with(&mut scratch, p.probs(), &mut gs)?;
+        self.kernel.eval_prime_many_with(&mut scratch, p.probs(), &mut dgs)?;
         Ok(f.values()
             .iter()
             .zip(p.probs().iter())

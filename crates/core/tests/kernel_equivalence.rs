@@ -4,7 +4,7 @@
 //! `cargo test --release -p dispersal-core --test kernel_equivalence`.
 
 use dispersal_core::ess::{ess_ledger, reference_ledger};
-use dispersal_core::kernel::{GTable, PbTable};
+use dispersal_core::kernel::{GBatch, GTable, PbTable};
 use dispersal_core::numerics::poisson_binomial_pmf;
 use dispersal_core::payoff::PayoffContext;
 use dispersal_core::policy::{Congestion, Exclusive, PowerLaw, Sharing, TwoLevel};
@@ -71,6 +71,39 @@ fn fused_path_is_within_contract_at_k256() {
                 (scalar - fused).abs() <= tol,
                 "{} q={q}: scalar {scalar} vs fused {fused}",
                 c.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn gbatch_reference_is_bit_identical_and_gemm_within_contract_at_k256() {
+    // The policy-batched SoA evaluator, checked at the same k = 256 bar as
+    // the per-policy kernel: reference mode bitwise against GTable's exact
+    // path, fused GEMM within 1e-13 of per-policy eval_fused.
+    let batch = GBatch::new(&policies(), K).unwrap();
+    let tables: Vec<GTable> = policies().iter().map(|c| GTable::new(*c, K).unwrap()).collect();
+    let mut scratch = batch.scratch();
+    let mut reference = vec![0.0; batch.rows()];
+    let mut gemm = vec![0.0; batch.rows()];
+    let tol = 1e-13 * batch.scale();
+    for &q in dense_grid().iter() {
+        batch.eval_with(&mut scratch, q, &mut reference).unwrap();
+        batch.eval_fused_into(&mut scratch, q, &mut gemm).unwrap();
+        for (r, table) in tables.iter().enumerate() {
+            let mut ts = table.scratch();
+            let exact = table.eval_with(&mut ts, q);
+            assert_eq!(
+                reference[r].to_bits(),
+                exact.to_bits(),
+                "row {r} q={q}: batch {} vs exact {exact}",
+                reference[r]
+            );
+            let fused = table.eval_fused(q);
+            assert!(
+                (gemm[r] - fused).abs() <= tol,
+                "row {r} q={q}: gemm {} vs fused {fused}",
+                gemm[r]
             );
         }
     }

@@ -2,7 +2,7 @@
 //! the numerics, the game axioms, and the solver identities.
 
 use dispersal_core::coverage::{coverage, coverage_gradient, miss_mass};
-use dispersal_core::kernel::{GTable, PbTable};
+use dispersal_core::kernel::{GBatch, GTable, PbTable};
 use dispersal_core::numerics::{
     binomial_pmf, binomial_pmf_vector, kahan_sum, poisson_binomial_pmf,
 };
@@ -191,6 +191,54 @@ proptest! {
                 (fused - scalar).abs() <= 1e-13,
                 "k = {k} q = {q}: fused {fused} vs scalar {scalar}"
             );
+        }
+    }
+
+    #[test]
+    fn gbatch_rows_match_per_policy_tables(
+        decrements in proptest::collection::vec(0.0f64..0.4, 0..=31),
+        factors in proptest::collection::vec(0.1f64..1.0, 2..=6),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..=32),
+    ) {
+        // All rows share k = decrements.len() + 1 (one k-tile); row r
+        // scales the shared decrement sequence by its own factor, giving
+        // distinct monotone tables.
+        let rows: Vec<Vec<f64>> = factors
+            .iter()
+            .map(|&s| {
+                let mut table = vec![1.0];
+                for &d in &decrements {
+                    let last = *table.last().expect("non-empty");
+                    table.push(last - s * d);
+                }
+                table
+            })
+            .collect();
+        let tables: Vec<GTable> =
+            rows.iter().map(|r| GTable::from_coefficients(r.clone()).unwrap()).collect();
+        let batch = GBatch::from_rows(rows).unwrap();
+        let mut scratch = batch.scratch();
+        let mut ref_out = vec![0.0; batch.rows()];
+        let mut fused_out = vec![0.0; batch.rows()];
+        let tol = 1e-13 * batch.scale();
+        for &q in &qs {
+            batch.eval_with(&mut scratch, q, &mut ref_out).unwrap();
+            batch.eval_fused_into(&mut scratch, q, &mut fused_out).unwrap();
+            for (r, table) in tables.iter().enumerate() {
+                let mut ts = table.scratch();
+                // Reference mode is bit-identical to the per-policy path.
+                let exact = table.eval_with(&mut ts, q);
+                prop_assert_eq!(
+                    ref_out[r].to_bits(), exact.to_bits(),
+                    "row {} q = {}: batch {} vs table {}", r, q, ref_out[r], exact
+                );
+                // The GEMM path honors the per-policy fused contract.
+                let fused = table.eval_fused(q);
+                prop_assert!(
+                    (fused_out[r] - fused).abs() <= tol,
+                    "row {} q = {}: gemm {} vs fused {}", r, q, fused_out[r], fused
+                );
+            }
         }
     }
 

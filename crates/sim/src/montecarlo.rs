@@ -1,6 +1,6 @@
 //! Parallel Monte-Carlo estimation over one-shot plays.
 //!
-//! Runs on the shared [`engine`](crate::engine): trials are sharded by a
+//! Runs on the shared [`crate::engine`]: trials are sharded by a
 //! [`ShardPlan`], each shard derives its own deterministic RNG stream from
 //! the master seed, and per-shard [`Welford`] accumulators merge in shard
 //! order — so results are bit-reproducible regardless of thread count or

@@ -1,10 +1,9 @@
 //! Parallel parameter sweeps: evaluate a closure over a grid of
 //! `(instance, k)` cells, preserving deterministic per-cell RNG streams.
-//! A thin grid-construction layer over
-//! [`engine::par_map_seeded`](crate::engine::par_map_seeded).
+//! A thin grid-construction layer over [`crate::engine::par_map_seeded`].
 
 use crate::engine;
-use dispersal_core::kernel::GTable;
+use dispersal_core::kernel::{GBatch, GTable};
 use dispersal_core::policy::{validate_congestion, Congestion};
 use dispersal_core::value::ValueProfile;
 use dispersal_core::{Error, Result};
@@ -59,28 +58,98 @@ pub struct ResponseCurve {
     pub g: Vec<f64>,
 }
 
-/// Evaluate the congestion response `g_C` of one policy over a dense
-/// uniform `q`-grid for every `k` in `ks`, in parallel (one worker per
-/// `k`). Each worker batches its whole grid through a single
-/// [`GTable`] — one `O(k)` kernel setup per curve instead of one per
-/// point — which is what makes sweeping `resolution = 10⁴`-point grids at
-/// `k = 256` cheap.
-pub fn response_grid(
-    c: &dyn Congestion,
-    ks: &[usize],
-    resolution: usize,
-) -> Result<Vec<ResponseCurve>> {
+/// Shared validation + grid construction for the response-grid family:
+/// rejects an empty `ks` or a zero `resolution`, and returns the uniform
+/// `resolution + 1`-point evaluation grid over `[0, 1]`.
+fn response_qs(ks: &[usize], resolution: usize) -> Result<Vec<f64>> {
     if ks.is_empty() {
         return Err(Error::InvalidArgument("response grid needs at least one k".into()));
     }
     if resolution == 0 {
         return Err(Error::InvalidArgument("response grid resolution must be >= 1".into()));
     }
-    let qs: Vec<f64> = (0..=resolution).map(|i| i as f64 / resolution as f64).collect();
+    Ok((0..=resolution).map(|i| i as f64 / resolution as f64).collect())
+}
+
+/// Reject an empty policy batch (the multi-policy sweep entry points).
+fn check_policies(policies: &[&dyn Congestion]) -> Result<()> {
+    if policies.is_empty() {
+        return Err(Error::InvalidArgument(
+            "batched response grid needs at least one policy".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Evaluate the congestion response `g_C` of one policy over a dense
+/// uniform `q`-grid for every `k` in `ks`, in parallel (one worker per
+/// `k`). Each `k` is a one-row [`GBatch`] k-tile evaluated in the
+/// **reference mode**, so one `O(k)` kernel setup serves the whole curve
+/// and every value is bit-identical to the per-point scalar path — which
+/// is what makes sweeping `resolution = 10⁴`-point grids at `k = 256`
+/// cheap without giving up reproducibility.
+pub fn response_grid(
+    c: &dyn Congestion,
+    ks: &[usize],
+    resolution: usize,
+) -> Result<Vec<ResponseCurve>> {
+    let qs = response_qs(ks, resolution)?;
     engine::par_map(ks.to_vec(), |k| {
-        let table = GTable::new(c, k)?;
-        Ok(ResponseCurve { k, qs: qs.clone(), g: table.eval_many(&qs) })
+        let batch = GBatch::new(&[c], k)?;
+        let mut scratch = batch.scratch();
+        let mut g = vec![0.0; qs.len()];
+        batch.eval_many_with(&mut scratch, &qs, &mut g)?;
+        Ok(ResponseCurve { k, qs: qs.clone(), g })
     })
+}
+
+/// One policy's curve from a multi-policy batched sweep
+/// ([`response_grid_batch`] / [`response_grid_batch_interpolated`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyResponseCurve {
+    /// Policy name (from [`Congestion::name`]).
+    pub policy: String,
+    /// Player count the curve was evaluated for.
+    pub k: usize,
+    /// The uniform evaluation grid over `[0, 1]`.
+    pub qs: Vec<f64>,
+    /// The congestion response at each grid point.
+    pub g: Vec<f64>,
+}
+
+/// Evaluate *many* policies over one shared `q`-grid for every `k` in
+/// `ks`: per `k` a single policy-major [`GBatch`] k-tile is built and the
+/// whole grid runs through the fused GEMM path — the per-point Bernstein
+/// column is computed once and every policy finishes with a blocked dot,
+/// instead of each policy paying its own recurrence setup per point.
+/// Workers fan out across k-tiles; output is k-major (all policies of
+/// `ks[0]`, then `ks[1]`, …), matching per-policy [`GTable::eval_fused`]
+/// to ≤ 1e-13 × the coefficient scale.
+pub fn response_grid_batch(
+    policies: &[&dyn Congestion],
+    ks: &[usize],
+    resolution: usize,
+) -> Result<Vec<PolicyResponseCurve>> {
+    check_policies(policies)?;
+    let qs = response_qs(ks, resolution)?;
+    let tiles = engine::par_map(ks.to_vec(), |k| {
+        let batch = GBatch::new(policies, k)?;
+        let mut scratch = batch.scratch();
+        let mut g = vec![0.0; batch.rows() * qs.len()];
+        batch.eval_fused_many_into(&mut scratch, &qs, &mut g)?;
+        let curves: Vec<PolicyResponseCurve> = policies
+            .iter()
+            .enumerate()
+            .map(|(r, c)| PolicyResponseCurve {
+                policy: c.name(),
+                k,
+                qs: qs.clone(),
+                g: g[r * qs.len()..(r + 1) * qs.len()].to_vec(),
+            })
+            .collect();
+        Ok(curves)
+    })?;
+    Ok(tiles.into_iter().flatten().collect())
 }
 
 /// Memoized interpolation grids for the sweep layer, keyed by the
@@ -169,13 +238,7 @@ pub fn response_grid_interpolated(
     tol: f64,
     cache: &mut GridCache,
 ) -> Result<Vec<ResponseCurve>> {
-    if ks.is_empty() {
-        return Err(Error::InvalidArgument("response grid needs at least one k".into()));
-    }
-    if resolution == 0 {
-        return Err(Error::InvalidArgument("response grid resolution must be >= 1".into()));
-    }
-    let qs: Vec<f64> = (0..=resolution).map(|i| i as f64 / resolution as f64).collect();
+    let qs = response_qs(ks, resolution)?;
     // Builds go through the &mut cache serially (each build is itself the
     // heavy step); evaluation fans out across curves.
     let tables: Vec<(usize, Arc<GTable>)> =
@@ -183,8 +246,45 @@ pub fn response_grid_interpolated(
     engine::par_map(tables, |(k, table)| {
         let mut scratch = table.scratch();
         let mut g = vec![0.0; qs.len()];
-        table.eval_fast_many_with(&mut scratch, &qs, &mut g);
+        table.eval_fast_many_with(&mut scratch, &qs, &mut g)?;
         Ok(ResponseCurve { k, qs: qs.clone(), g })
+    })
+}
+
+/// The multi-policy sibling of [`response_grid_interpolated`]: every
+/// `(policy, k)` cell pulls its `O(1)`-per-point interpolation grid from
+/// (or builds it into) the shared [`GridCache`] at tolerance `tol`, then
+/// all cells evaluate in parallel over the shared `q`-grid. The cache is
+/// keyed by the coefficient fingerprint, so cells revisited by *either*
+/// this batched path or the single-policy [`response_grid_interpolated`]
+/// path reuse one [`Arc`]-shared grid — k-tiles of a batched sweep and
+/// stand-alone sweeps never build the same grid twice. Output is k-major
+/// (all policies of `ks[0]`, then `ks[1]`, …), matching
+/// [`response_grid_batch`].
+pub fn response_grid_batch_interpolated(
+    policies: &[&dyn Congestion],
+    ks: &[usize],
+    resolution: usize,
+    tol: f64,
+    cache: &mut GridCache,
+) -> Result<Vec<PolicyResponseCurve>> {
+    check_policies(policies)?;
+    let qs = response_qs(ks, resolution)?;
+    // Builds go through the &mut cache serially (the grid refinement is
+    // the heavy step); evaluation fans out across all (policy, k) cells,
+    // concurrently sharing each Arc'd grid across workers.
+    let mut cells: Vec<(String, usize, Arc<GTable>)> =
+        Vec::with_capacity(policies.len() * ks.len());
+    for &k in ks {
+        for c in policies {
+            cells.push((c.name(), k, cache.table(*c, k, tol)?));
+        }
+    }
+    engine::par_map(cells, |(policy, k, table)| {
+        let mut scratch = table.scratch();
+        let mut g = vec![0.0; qs.len()];
+        table.eval_fast_many_with(&mut scratch, &qs, &mut g)?;
+        Ok(PolicyResponseCurve { policy, k, qs: qs.clone(), g })
     })
 }
 
@@ -330,6 +430,84 @@ mod tests {
         }
         assert!(response_grid_interpolated(&Sharing, &[], 8, tol, &mut cache).is_err());
         assert!(response_grid_interpolated(&Sharing, &[2], 0, tol, &mut cache).is_err());
+    }
+
+    #[test]
+    fn batched_response_grid_matches_per_policy_reference() {
+        use dispersal_core::kernel::GTable;
+        use dispersal_core::policy::{Exclusive, PowerLaw, TwoLevel};
+        let policies: Vec<&dyn Congestion> =
+            vec![&Exclusive, &Sharing, &TwoLevel { c: -0.4 }, &PowerLaw { beta: 2.0 }];
+        let ks = [2usize, 8, 33];
+        let curves = response_grid_batch(&policies, &ks, 64).unwrap();
+        assert_eq!(curves.len(), policies.len() * ks.len());
+        // Output is k-major with rows in policy order; every curve matches
+        // the per-policy exact table within the fused-GEMM contract.
+        for (t, &k) in ks.iter().enumerate() {
+            for (r, c) in policies.iter().enumerate() {
+                let curve = &curves[t * policies.len() + r];
+                assert_eq!(curve.k, k);
+                assert_eq!(curve.policy, c.name());
+                let table = GTable::new(*c, k).unwrap();
+                let mut scratch = table.scratch();
+                let tol = 1e-13 * table.scale();
+                for (&q, &g) in curve.qs.iter().zip(curve.g.iter()) {
+                    let exact = table.eval_with(&mut scratch, q);
+                    assert!(
+                        (g - exact).abs() <= tol,
+                        "{} k={k} q={q}: batch {g} vs exact {exact}",
+                        curve.policy
+                    );
+                }
+            }
+        }
+        assert!(response_grid_batch(&[], &ks, 64).is_err());
+        assert!(response_grid_batch(&policies, &[], 64).is_err());
+        assert!(response_grid_batch(&policies, &ks, 0).is_err());
+    }
+
+    #[test]
+    fn grid_cache_is_shared_between_batch_and_single_policy_paths() {
+        use dispersal_core::policy::Exclusive;
+        let mut cache = GridCache::new();
+        let policies: Vec<&dyn Congestion> = vec![&Sharing, &Exclusive];
+        let ks = [4usize, 16];
+        let tol = 1e-9;
+        let batched =
+            response_grid_batch_interpolated(&policies, &ks, 32, tol, &mut cache).unwrap();
+        assert_eq!(batched.len(), 4);
+        assert_eq!(cache.builds(), 4, "one grid per (policy, k) cell");
+        assert_eq!(cache.hits(), 0);
+        // Pin the Arc the batch path populated, then re-sweep: the second
+        // batched sweep must reuse every memoized grid (pure hits)...
+        let pinned = cache.table(&Sharing, 4, tol).unwrap();
+        assert_eq!(cache.hits(), 1);
+        response_grid_batch_interpolated(&policies, &ks, 64, tol, &mut cache).unwrap();
+        assert_eq!(cache.builds(), 4);
+        assert_eq!(cache.hits(), 5);
+        // ...and the single-policy GTable path requesting the same
+        // (policy, k, tol) cells is served from the same entries.
+        let single = response_grid_interpolated(&Sharing, &ks, 32, tol, &mut cache).unwrap();
+        assert_eq!(cache.builds(), 4, "GTable path must not rebuild GBatch-tile grids");
+        assert_eq!(cache.hits(), 7);
+        assert!(Arc::ptr_eq(&pinned, &cache.table(&Sharing, 4, tol).unwrap()));
+        // Same Arc'd grid on both paths => bit-identical curves.
+        let sharing_k4 = &batched[0];
+        assert_eq!((sharing_k4.policy.as_str(), sharing_k4.k), ("sharing", 4));
+        for (&a, &b) in sharing_k4.g.iter().zip(single[0].g.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Bad tolerances propagate as the typed error through the batch
+        // path, exactly like the single-policy one.
+        for bad in [0.0, -1.0, f64::NAN] {
+            assert!(matches!(
+                response_grid_batch_interpolated(&policies, &ks, 8, bad, &mut cache),
+                Err(dispersal_core::Error::InvalidTolerance { .. })
+            ));
+        }
+        assert!(response_grid_batch_interpolated(&[], &ks, 8, tol, &mut cache).is_err());
+        assert!(response_grid_batch_interpolated(&policies, &[], 8, tol, &mut cache).is_err());
+        assert!(response_grid_batch_interpolated(&policies, &ks, 0, tol, &mut cache).is_err());
     }
 
     #[test]

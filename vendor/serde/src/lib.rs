@@ -61,6 +61,18 @@ impl Value {
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Error produced when a [`Value`] cannot be decoded into the requested
 /// type.
 #[derive(Debug, Clone, PartialEq, Eq)]
