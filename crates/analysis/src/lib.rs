@@ -1,0 +1,1142 @@
+//! Project-specific static analysis for the selfish-explorers workspace.
+//!
+//! The whole performance trajectory of this repo rests on one promise:
+//! **bit-identical outputs at any thread count**. That promise is easy to
+//! break silently — an `unwrap()` that panics only under a rare shard
+//! error, a `HashMap` iterated in an output path (iteration order is
+//! randomized per process), a naive `f64` sum whose rounding depends on
+//! accumulation order. This crate is a token-level scanner (no rustc
+//! plugin, no syn — it walks the workspace source the same way
+//! `check_bench_json` walks the `BENCH_*.json` trajectories) enforcing
+//! four project lints:
+//!
+//! * [`Lint::NoUnwrapInLib`] — forbid `.unwrap()` / `.expect(` /
+//!   `panic!` / `unreachable!` / `todo!` / `unimplemented!` in non-test
+//!   library code of `crates/core`, `crates/sim`, and `crates/mech`.
+//!   Library entry points return typed `dispersal_core::Error` values;
+//!   panicking belongs to tests and binaries. A checked-in allowlist
+//!   (`crates/analysis/allowlist.txt`) exists to burn down — it ships
+//!   empty.
+//! * [`Lint::DeterministicIteration`] — forbid iterating a `HashMap` /
+//!   `HashSet` (`.iter()`, `.keys()`, `.values()`, `.drain()`,
+//!   `for _ in &map`, …) in non-test code. Hash iteration order is
+//!   process-randomized, so anything it feeds (manifests, error strings,
+//!   CSV rows, merge order) silently loses determinism. Keyed lookups
+//!   (`get` / `insert` / `contains_key` / `entry` / `len`) are fine —
+//!   that is how `GridCache` and `PbCache` stay deterministic — and
+//!   `BTreeMap` / `BTreeSet` iterate in sorted order and are never
+//!   flagged.
+//! * [`Lint::FloatReduction`] — forbid naive `.sum()` reductions and
+//!   `fold(0.0, …)` accumulators inside the numerics hot files
+//!   (`kernel.rs`, `numerics.rs`) outside the approved compensated
+//!   helpers (`kahan_sum`). Naive summation makes results depend on term
+//!   order, which is exactly what batched/parallel evaluation reshuffles.
+//! * [`Lint::BenchGuardCoverage`] — every `BENCH_*.json` trajectory at
+//!   the repo root must have a bench target with a `--quick` guard mode
+//!   (`guard::quick_mode`) and a CI invocation of it, so no recorded
+//!   trajectory can regress unguarded.
+//!
+//! The scanner strips comments, strings, and character literals first
+//! (so doc-prose `panic!` or a `"HashMap"` string literal never fire) and
+//! masks `#[cfg(test)]` items. [`run_check`] drives the filesystem walk;
+//! every lint body is a pure function over in-memory text so the unit
+//! tests can seed violations without touching disk. Output is
+//! `file:line` text plus machine-readable JSON ([`Report::to_json`]);
+//! the process exits non-zero on any non-allowlisted violation **or any
+//! stale allowlist entry** (burn-down entries must be deleted once
+//! clean).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lint catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lint {
+    /// Panicking calls in library code that should return typed errors.
+    NoUnwrapInLib,
+    /// Iteration over randomized-order hash collections.
+    DeterministicIteration,
+    /// Order-sensitive naive float reductions in the numerics hot files.
+    FloatReduction,
+    /// A recorded bench trajectory without a wired `--quick` CI guard.
+    BenchGuardCoverage,
+}
+
+impl Lint {
+    /// Stable machine-readable lint name (used in reports and the
+    /// allowlist file).
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::NoUnwrapInLib => "no-unwrap-in-lib",
+            Lint::DeterministicIteration => "deterministic-iteration",
+            Lint::FloatReduction => "float-reduction",
+            Lint::BenchGuardCoverage => "bench-guard-coverage",
+        }
+    }
+
+    /// One-line description for `analysis lints`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Lint::NoUnwrapInLib => {
+                "unwrap()/expect()/panic! in core/sim/mech non-test library code"
+            }
+            Lint::DeterministicIteration => {
+                "HashMap/HashSet iteration in non-test code (order is process-randomized)"
+            }
+            Lint::FloatReduction => {
+                "naive .sum()/fold(0.0, ..) in kernel.rs/numerics.rs outside kahan_sum"
+            }
+            Lint::BenchGuardCoverage => {
+                "BENCH_*.json trajectory without a --quick bench guard wired into CI"
+            }
+        }
+    }
+
+    /// Every lint, in report order.
+    pub fn all() -> [Lint; 4] {
+        [
+            Lint::NoUnwrapInLib,
+            Lint::DeterministicIteration,
+            Lint::FloatReduction,
+            Lint::BenchGuardCoverage,
+        ]
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: a lint fired at `file:line`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Workspace-relative path (always `/`-separated).
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings like missing bench
+    /// guards).
+    pub line: usize,
+    /// The offending source line (trimmed), or a synthesized message.
+    pub excerpt: String,
+    /// Whether an allowlist entry covers this finding (reported, but not
+    /// failing).
+    pub allowed: bool,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = if self.allowed { " (allowlisted)" } else { "" };
+        write!(f, "{}:{}: [{}]{} {}", self.file, self.line, self.lint, tag, self.excerpt)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level source preparation
+// ---------------------------------------------------------------------------
+
+/// Blank out comments (line, nested block, doc), string literals (plain,
+/// raw, byte, C), and character literals, preserving byte offsets and
+/// newlines so line numbers survive. Lifetimes (`'a`, `'static`) are kept
+/// as-is; `'x'` / `b'x'` literals are blanked.
+pub fn strip_source(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    let n = bytes.len();
+    // Blank `count` bytes starting at `i`, preserving newlines.
+    fn blank(out: &mut Vec<u8>, bytes: &[u8], from: usize, to: usize) {
+        for &b in &bytes[from..to] {
+            out.push(if b == b'\n' { b'\n' } else { b' ' });
+        }
+    }
+    while i < n {
+        let b = bytes[i];
+        // Line comment (also covers /// and //! doc comments).
+        if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+            let end = bytes[i..].iter().position(|&c| c == b'\n').map_or(n, |p| i + p);
+            blank(&mut out, bytes, i, end);
+            i = end;
+            continue;
+        }
+        // Block comment, nested.
+        if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if bytes[j] == b'/' && j + 1 < n && bytes[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == b'*' && j + 1 < n && bytes[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            blank(&mut out, bytes, i, j);
+            i = j;
+            continue;
+        }
+        // Raw strings: r"..."  r#"..."#  (and br / cr prefixes).
+        let raw_start = if b == b'r' {
+            Some(i + 1)
+        } else if (b == b'b' || b == b'c') && i + 1 < n && bytes[i + 1] == b'r' {
+            Some(i + 2)
+        } else {
+            None
+        };
+        if let Some(mut j) = raw_start {
+            // Only a raw string if hashes-then-quote follows.
+            let mut hashes = 0usize;
+            while j < n && bytes[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && bytes[j] == b'"' {
+                j += 1;
+                // Scan for `"` followed by `hashes` hashes.
+                while j < n {
+                    if bytes[j] == b'"'
+                        && bytes[j + 1..].iter().take(hashes).filter(|&&c| c == b'#').count()
+                            == hashes
+                    {
+                        j += 1 + hashes;
+                        break;
+                    }
+                    j += 1;
+                }
+                blank(&mut out, bytes, i, j.min(n));
+                i = j.min(n);
+                continue;
+            }
+        }
+        // Plain / byte strings with escapes.
+        if b == b'"' || (b == b'b' && i + 1 < n && bytes[i + 1] == b'"') {
+            let mut j = if b == b'"' { i + 1 } else { i + 2 };
+            while j < n {
+                if bytes[j] == b'\\' {
+                    j += 2;
+                } else if bytes[j] == b'"' {
+                    j += 1;
+                    break;
+                } else {
+                    j += 1;
+                }
+            }
+            blank(&mut out, bytes, i, j.min(n));
+            i = j.min(n);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if b == b'\'' || (b == b'b' && i + 1 < n && bytes[i + 1] == b'\'') {
+            let q = if b == b'\'' { i } else { i + 1 };
+            let is_char = if q + 1 >= n {
+                false
+            } else if bytes[q + 1] == b'\\' {
+                true
+            } else {
+                // `'a` with no closing quote two ahead is a lifetime.
+                q + 2 < n && bytes[q + 2] == b'\''
+            };
+            if is_char {
+                let mut j = q + 1;
+                while j < n {
+                    if bytes[j] == b'\\' {
+                        j += 2;
+                    } else if bytes[j] == b'\'' {
+                        j += 1;
+                        break;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, bytes, i, j.min(n));
+                i = j.min(n);
+                continue;
+            }
+        }
+        out.push(b);
+        i += 1;
+    }
+    // The scanner only ever blanks whole ASCII-delimited regions, so the
+    // result is valid UTF-8 whenever the input was.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Byte spans of `#[cfg(test)]`-gated items (typically `mod tests { … }`)
+/// in **stripped** source: from the attribute to the matching close brace
+/// (or the terminating `;` for brace-less items).
+pub fn test_spans(stripped: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let bytes = stripped.as_bytes();
+    for pat in ["#[cfg(test)]", "#[cfg(all(test"] {
+        let mut from = 0;
+        while let Some(rel) = stripped[from..].find(pat) {
+            let start = from + rel;
+            // Find the end of this attribute ( `]` matching its `[` ).
+            let mut j = start + 1; // at '['
+            let mut depth = 0i32;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Skip whitespace and any further attributes, then span the
+            // item body: first `{ … }` at depth 0, or a `;` before it.
+            let mut k = j;
+            let mut end = bytes.len();
+            let mut brace = 0i32;
+            while k < bytes.len() {
+                match bytes[k] {
+                    b'#' if brace == 0 && k + 1 < bytes.len() && bytes[k + 1] == b'[' => {
+                        // Nested attribute: skip to its matching ']'.
+                        let mut d = 0i32;
+                        while k < bytes.len() {
+                            match bytes[k] {
+                                b'[' => d += 1,
+                                b']' => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    }
+                    b';' if brace == 0 => {
+                        end = k + 1;
+                        break;
+                    }
+                    b'{' => brace += 1,
+                    b'}' => {
+                        brace -= 1;
+                        if brace == 0 {
+                            end = k + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            spans.push((start, end));
+            from = end.max(start + 1);
+        }
+    }
+    spans.sort_unstable();
+    spans
+}
+
+fn in_spans(spans: &[(usize, usize)], offset: usize) -> bool {
+    spans.iter().any(|&(a, b)| (a..b).contains(&offset))
+}
+
+fn line_of(src: &str, offset: usize) -> usize {
+    src.as_bytes()[..offset.min(src.len())].iter().filter(|&&b| b == b'\n').count() + 1
+}
+
+fn excerpt_at(original: &str, offset: usize) -> String {
+    let line = line_of(original, offset);
+    let text = original.lines().nth(line - 1).unwrap_or("").trim();
+    let mut s = text.to_string();
+    if s.len() > 120 {
+        s.truncate(117);
+        s.push_str("...");
+    }
+    s
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// All match offsets of `pat` in `hay`, with a word-boundary check on the
+/// left when the pattern itself starts with an identifier byte (so
+/// `panic!` does not match inside `foo_panic!`, but `.unwrap()` — whose
+/// preceding byte is legitimately the receiver — always matches).
+fn boundary_matches(hay: &str, pat: &str) -> Vec<usize> {
+    let needs_boundary = pat.bytes().next().is_some_and(is_ident_byte);
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(pat) {
+        let at = from + rel;
+        if !needs_boundary || at == 0 || !is_ident_byte(hay.as_bytes()[at - 1]) {
+            out.push(at);
+        }
+        from = at + 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lint: no-unwrap-in-lib
+// ---------------------------------------------------------------------------
+
+/// Panicking constructs forbidden in library code.
+const PANIC_PATTERNS: [&str; 6] =
+    [".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// Scan one library file for panicking constructs outside `#[cfg(test)]`
+/// items. `file` is the workspace-relative path used in reports.
+pub fn lint_no_unwrap(file: &str, src: &str) -> Vec<Violation> {
+    let stripped = strip_source(src);
+    let tests = test_spans(&stripped);
+    let mut out = Vec::new();
+    for pat in PANIC_PATTERNS {
+        for at in boundary_matches(&stripped, pat) {
+            if in_spans(&tests, at) {
+                continue;
+            }
+            out.push(Violation {
+                lint: Lint::NoUnwrapInLib,
+                file: file.to_string(),
+                line: line_of(&stripped, at),
+                excerpt: excerpt_at(src, at),
+                allowed: false,
+            });
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lint: deterministic-iteration
+// ---------------------------------------------------------------------------
+
+/// Iteration methods that expose hash ordering.
+const HASH_ITER_METHODS: [&str; 8] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain(",
+    ".retain(",
+];
+
+/// Identifiers bound to `HashMap` / `HashSet` in `stripped` source:
+/// `let (mut) name = HashMap::…`, `name: HashMap<…>` fields and
+/// parameters (including `std::collections::`-qualified paths). Purely
+/// heuristic and line-oriented — good enough for this workspace's idiom,
+/// and unit-tested against the shapes that actually occur.
+fn hash_bound_idents(stripped: &str) -> Vec<String> {
+    let mut idents: Vec<String> = Vec::new();
+    for line in stripped.lines() {
+        if !(line.contains("HashMap") || line.contains("HashSet")) {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            continue;
+        }
+        let mut found: Vec<String> = Vec::new();
+        if let Some(pos) = trimmed.find("let ") {
+            // `let mut name = HashMap::new()` / `let name: HashMap<…>`
+            let rest = trimmed[pos + 4..].trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            let len = rest.bytes().take_while(|&b| is_ident_byte(b)).count();
+            if len > 0 {
+                found.push(rest[..len].to_string());
+            }
+        } else {
+            // `name: HashMap<…>` (struct field / fn parameter). Scope the
+            // type check to each comma-separated segment so an unrelated
+            // parameter on a line whose *return type* mentions a hash
+            // collection is not captured.
+            for segment in trimmed.split(',') {
+                if !(segment.contains("HashMap") || segment.contains("HashSet")) {
+                    continue;
+                }
+                // The declaring `name:` colon, not a `::` path separator.
+                let Some(colon) = segment
+                    .char_indices()
+                    .find(|&(i, c)| {
+                        c == ':'
+                            && segment.as_bytes().get(i + 1) != Some(&b':')
+                            && (i == 0 || segment.as_bytes()[i - 1] != b':')
+                    })
+                    .map(|(i, _)| i)
+                else {
+                    continue;
+                };
+                if !(segment[colon..].contains("HashMap") || segment[colon..].contains("HashSet")) {
+                    continue;
+                }
+                let head = segment[..colon].trim_end();
+                let start = head.bytes().rposition(|b| !is_ident_byte(b)).map_or(0, |p| p + 1);
+                if start < head.len() {
+                    found.push(head[start..].to_string());
+                }
+            }
+        }
+        for name in found {
+            if !idents.contains(&name) {
+                idents.push(name);
+            }
+        }
+    }
+    idents
+}
+
+/// Scan one file for iteration over hash-ordered collections outside
+/// `#[cfg(test)]` items.
+pub fn lint_deterministic_iteration(file: &str, src: &str) -> Vec<Violation> {
+    let stripped = strip_source(src);
+    let tests = test_spans(&stripped);
+    let idents = hash_bound_idents(&stripped);
+    let mut out = Vec::new();
+    let mut push = |at: usize| {
+        if !in_spans(&tests, at) {
+            out.push(Violation {
+                lint: Lint::DeterministicIteration,
+                file: file.to_string(),
+                line: line_of(&stripped, at),
+                excerpt: excerpt_at(src, at),
+                allowed: false,
+            });
+        }
+    };
+    for ident in &idents {
+        // Method-call iteration: `map.iter()`, `self.map.values()`, …
+        for method in HASH_ITER_METHODS {
+            let pat = format!("{ident}{method}");
+            for at in boundary_matches(&stripped, &pat) {
+                push(at);
+            }
+        }
+    }
+    // `for … in &map { … }` loops (line-oriented): the expression between
+    // ` in ` and the opening brace mentions a hash-bound identifier.
+    let mut offset = 0usize;
+    for line in stripped.lines() {
+        let has_for = line.trim_start().starts_with("for ") || line.contains(" for ");
+        if has_for {
+            if let Some(pos) = line.find(" in ") {
+                let expr = line[pos + 4..].split('{').next().unwrap_or("");
+                for ident in &idents {
+                    for rel in boundary_matches(expr, ident) {
+                        // Whole-word check on the tail too.
+                        let after = expr.as_bytes().get(rel + ident.len()).copied();
+                        if after.is_none_or(|b| !is_ident_byte(b)) {
+                            push(offset + pos + 4 + rel);
+                        }
+                    }
+                }
+            }
+        }
+        offset += line.len() + 1;
+    }
+    out.sort_by_key(|v| (v.line, v.excerpt.clone()));
+    out.dedup_by(|a, b| a.line == b.line && a.excerpt == b.excerpt);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lint: float-reduction
+// ---------------------------------------------------------------------------
+
+/// Order-sensitive reduction patterns.
+const FLOAT_PATTERNS: [&str; 3] = [".sum::<", ".sum()", "fold(0.0"];
+
+/// Compensated helpers whose bodies may accumulate freely.
+const APPROVED_REDUCERS: [&str; 2] = ["kahan_sum", "neumaier_sum"];
+
+/// Byte spans of `fn <name> … { … }` bodies in stripped source.
+fn fn_spans(stripped: &str, names: &[&str]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let bytes = stripped.as_bytes();
+    for name in names {
+        let pat = format!("fn {name}");
+        for at in boundary_matches(stripped, &pat) {
+            // Guard against prefix collisions (`fn kahan_summary`).
+            let after = bytes.get(at + pat.len()).copied();
+            if after.is_some_and(is_ident_byte) {
+                continue;
+            }
+            // Find the body's opening brace, then match it.
+            let mut j = at;
+            while j < bytes.len() && bytes[j] != b'{' {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            let mut end = bytes.len();
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = j + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            spans.push((at, end));
+        }
+    }
+    spans
+}
+
+/// Scan one numerics hot file for naive float reductions outside the
+/// approved compensated helpers and outside `#[cfg(test)]` items.
+pub fn lint_float_reduction(file: &str, src: &str) -> Vec<Violation> {
+    let stripped = strip_source(src);
+    let tests = test_spans(&stripped);
+    let approved = fn_spans(&stripped, &APPROVED_REDUCERS);
+    let mut out = Vec::new();
+    for pat in FLOAT_PATTERNS {
+        let mut from = 0;
+        while let Some(rel) = stripped[from..].find(pat) {
+            let at = from + rel;
+            from = at + 1;
+            if in_spans(&tests, at) || in_spans(&approved, at) {
+                continue;
+            }
+            out.push(Violation {
+                lint: Lint::FloatReduction,
+                file: file.to_string(),
+                line: line_of(&stripped, at),
+                excerpt: excerpt_at(src, at),
+                allowed: false,
+            });
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lint: bench-guard-coverage
+// ---------------------------------------------------------------------------
+
+/// Inputs for the bench-guard lint, gathered by the driver (pure data so
+/// tests can seed them without a filesystem).
+#[derive(Debug, Clone)]
+pub struct BenchGuardInput {
+    /// Trajectory name: `BENCH_<name>.json`.
+    pub name: String,
+    /// Contents of `crates/bench/benches/<name>.rs`, if the file exists.
+    pub bench_source: Option<String>,
+    /// Contents of `.github/workflows/ci.yml`.
+    pub ci_text: String,
+}
+
+/// Check that every recorded bench trajectory has a quick guard wired
+/// into CI: a bench target of the same name that consults
+/// `guard::quick_mode`, and a `--bench <name> -- --quick` CI invocation.
+pub fn lint_bench_guards(inputs: &[BenchGuardInput]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for input in inputs {
+        let file = format!("BENCH_{}.json", input.name);
+        let mut fail = |excerpt: String| {
+            out.push(Violation {
+                lint: Lint::BenchGuardCoverage,
+                file: file.clone(),
+                line: 0,
+                excerpt,
+                allowed: false,
+            });
+        };
+        match &input.bench_source {
+            None => fail(format!(
+                "no bench target crates/bench/benches/{}.rs for this trajectory",
+                input.name
+            )),
+            Some(src) if !src.contains("quick_mode") => fail(format!(
+                "crates/bench/benches/{}.rs has no --quick guard (guard::quick_mode)",
+                input.name
+            )),
+            Some(_) => {}
+        }
+        let ci_call = format!("--bench {} -- --quick", input.name);
+        if !input.ci_text.contains(&ci_call) {
+            fail(format!("ci.yml never runs `cargo bench … {ci_call}`"));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist
+// ---------------------------------------------------------------------------
+
+/// One burn-down entry: suppress failures for `(lint, file)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Lint name as written in the file.
+    pub lint: String,
+    /// Workspace-relative path.
+    pub file: String,
+}
+
+impl fmt::Display for AllowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.lint, self.file)
+    }
+}
+
+/// Parse the allowlist format: one `<lint-name> <path>` pair per line,
+/// `#` comments and blank lines ignored.
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(lint), Some(file)) = (parts.next(), parts.next()) {
+            out.push(AllowEntry { lint: lint.to_string(), file: file.to_string() });
+        }
+    }
+    out
+}
+
+/// Mark allowlisted violations and report stale entries (entries that
+/// matched nothing — they must be deleted, keeping the burn-down
+/// honest). Returns the stale entries.
+pub fn apply_allowlist(violations: &mut [Violation], allowlist: &[AllowEntry]) -> Vec<AllowEntry> {
+    let mut stale = Vec::new();
+    for entry in allowlist {
+        let mut hit = false;
+        for v in violations.iter_mut() {
+            if v.lint.name() == entry.lint && v.file == entry.file {
+                v.allowed = true;
+                hit = true;
+            }
+        }
+        if !hit {
+            stale.push(entry.clone());
+        }
+    }
+    stale
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// Everything one `check` run found.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, allowlisted ones included.
+    pub violations: Vec<Violation>,
+    /// Allowlist entries that matched nothing (these fail the check).
+    pub stale_allowlist: Vec<AllowEntry>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the check should exit non-zero.
+    pub fn failing(&self) -> bool {
+        self.violations.iter().any(|v| !v.allowed) || !self.stale_allowlist.is_empty()
+    }
+
+    /// Human-readable `file:line` listing plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        for entry in &self.stale_allowlist {
+            out.push_str(&format!(
+                "allowlist: stale entry `{entry}` matched nothing — delete it\n"
+            ));
+        }
+        let failing = self.violations.iter().filter(|v| !v.allowed).count();
+        let allowed = self.violations.len() - failing;
+        out.push_str(&format!(
+            "analysis: {} file(s) scanned, {failing} violation(s), {allowed} allowlisted, {} stale allowlist entr(ies)\n",
+            self.files_scanned,
+            self.stale_allowlist.len(),
+        ));
+        out
+    }
+
+    /// Machine-readable JSON (hand-rolled, matching the vendored codec's
+    /// conventions; no dependencies).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let violations: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"allowed\": {}, \"excerpt\": \"{}\"}}",
+                    v.lint,
+                    esc(&v.file),
+                    v.line,
+                    v.allowed,
+                    esc(&v.excerpt)
+                )
+            })
+            .collect();
+        let stale: Vec<String> =
+            self.stale_allowlist.iter().map(|e| format!("\"{}\"", esc(&e.to_string()))).collect();
+        format!(
+            "{{\n  \"ok\": {},\n  \"files_scanned\": {},\n  \"violations\": [\n{}\n  ],\n  \"stale_allowlist\": [{}]\n}}\n",
+            !self.failing(),
+            self.files_scanned,
+            violations.join(",\n"),
+            stale.join(", ")
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem driver
+// ---------------------------------------------------------------------------
+
+/// Directories whose non-test code must be panic-free (library crates of
+/// the analytic stack).
+const UNWRAP_ROOTS: [&str; 3] = ["crates/core/src", "crates/sim/src", "crates/mech/src"];
+
+/// Directories scanned for hash-iteration (everything that produces
+/// output, including the bench bins and this crate).
+const ITERATION_ROOTS: [&str; 7] = [
+    "src",
+    "crates/core/src",
+    "crates/sim/src",
+    "crates/search/src",
+    "crates/mech/src",
+    "crates/bench/src",
+    "crates/analysis/src",
+];
+
+/// The numerics hot files held to compensated-reduction discipline.
+const FLOAT_FILES: [&str; 2] = ["crates/core/src/kernel.rs", "crates/core/src/numerics.rs"];
+
+/// Recursively collect `.rs` files under `dir`, workspace-relative,
+/// sorted (the scanner's own output must be deterministic).
+fn walk_rs(root: &Path, rel_dir: &str, out: &mut Vec<String>) -> io::Result<()> {
+    let dir = root.join(rel_dir);
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(&dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        let rel = format!("{rel_dir}/{name}");
+        if path.is_dir() {
+            walk_rs(root, &rel, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Run every lint over the workspace rooted at `root` and apply the
+/// checked-in allowlist.
+pub fn run_check(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    let mut scanned: Vec<String> = Vec::new();
+
+    // no-unwrap-in-lib over the library crates.
+    let mut unwrap_files = Vec::new();
+    for dir in UNWRAP_ROOTS {
+        walk_rs(root, dir, &mut unwrap_files)?;
+    }
+    for rel in &unwrap_files {
+        let src = fs::read_to_string(root.join(rel))?;
+        report.violations.extend(lint_no_unwrap(rel, &src));
+        scanned.push(rel.clone());
+    }
+
+    // deterministic-iteration over everything that produces output.
+    let mut iter_files = Vec::new();
+    for dir in ITERATION_ROOTS {
+        walk_rs(root, dir, &mut iter_files)?;
+    }
+    for rel in &iter_files {
+        let src = fs::read_to_string(root.join(rel))?;
+        report.violations.extend(lint_deterministic_iteration(rel, &src));
+        if !scanned.contains(rel) {
+            scanned.push(rel.clone());
+        }
+    }
+
+    // float-reduction over the numerics hot files.
+    for rel in FLOAT_FILES {
+        let path = root.join(rel);
+        if path.is_file() {
+            let src = fs::read_to_string(path)?;
+            report.violations.extend(lint_float_reduction(rel, &src));
+        }
+    }
+
+    // bench-guard-coverage over the recorded trajectories.
+    let ci_text = fs::read_to_string(root.join(".github/workflows/ci.yml")).unwrap_or_default();
+    let mut names: Vec<String> = Vec::new();
+    for entry in fs::read_dir(root)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(stem) = name.strip_prefix("BENCH_").and_then(|s| s.strip_suffix(".json")) {
+            names.push(stem.to_string());
+        }
+    }
+    names.sort();
+    let inputs: Vec<BenchGuardInput> = names
+        .into_iter()
+        .map(|name| {
+            let bench_source =
+                fs::read_to_string(root.join(format!("crates/bench/benches/{name}.rs"))).ok();
+            BenchGuardInput { name, bench_source, ci_text: ci_text.clone() }
+        })
+        .collect();
+    report.violations.extend(lint_bench_guards(&inputs));
+
+    // Allowlist.
+    let allow_text =
+        fs::read_to_string(root.join("crates/analysis/allowlist.txt")).unwrap_or_default();
+    let allowlist = parse_allowlist(&allow_text);
+    report.stale_allowlist = apply_allowlist(&mut report.violations, &allowlist);
+
+    report.violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report.files_scanned = scanned.len();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ---- source preparation -------------------------------------------
+
+    #[test]
+    fn strip_blanks_comments_strings_and_chars() {
+        let src = r##"let a = "panic!(inside string)"; // panic! in comment
+/* block panic! */ let b = 'x'; let c = r#"raw panic!"#;
+let lt: &'static str = unrelated;"##;
+        let stripped = strip_source(src);
+        assert!(!stripped.contains("panic!"), "stripped: {stripped}");
+        assert!(stripped.contains("let a ="));
+        assert!(stripped.contains("'static"), "lifetimes must survive");
+        assert_eq!(stripped.lines().count(), src.lines().count(), "line structure preserved");
+    }
+
+    #[test]
+    fn strip_handles_escaped_quotes() {
+        let src = "let s = \"a\\\"b.unwrap()\"; x.real();";
+        let stripped = strip_source(src);
+        assert!(!stripped.contains(".unwrap()"));
+        assert!(stripped.contains("x.real()"));
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_mod() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let stripped = strip_source(src);
+        let spans = test_spans(&stripped);
+        assert_eq!(spans.len(), 1);
+        let at = stripped.find(".unwrap()").expect("present");
+        assert!(in_spans(&spans, at));
+        let tail = stripped.find("fn tail").expect("present");
+        assert!(!in_spans(&spans, tail));
+    }
+
+    // ---- no-unwrap-in-lib ---------------------------------------------
+
+    #[test]
+    fn seeded_unwrap_violation_is_caught() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let v = lint_no_unwrap("crates/core/src/seed.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].lint, Lint::NoUnwrapInLib);
+    }
+
+    #[test]
+    fn unwrap_in_tests_and_prose_is_ignored() {
+        let src = "/// Calling this can `panic!` — no it can't, that's prose.\npub fn f() {}\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); panic!(\"x\") }\n}\n";
+        assert!(lint_no_unwrap("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn expect_and_panic_variants_fire() {
+        let src =
+            "fn a() { x.expect(\"m\"); }\nfn b() { panic!(\"m\"); }\nfn c() { unreachable!() }\n";
+        let v = lint_no_unwrap("x.rs", src);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn unwrap_or_family_is_not_flagged() {
+        let src = "fn a(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        assert!(lint_no_unwrap("x.rs", src).is_empty());
+    }
+
+    // ---- deterministic-iteration --------------------------------------
+
+    #[test]
+    fn seeded_hashmap_iteration_is_caught() {
+        let src = "use std::collections::HashMap;\nfn f() {\n    let mut m: HashMap<String, u32> = HashMap::new();\n    for (k, v) in m.iter() { out(k, v); }\n}\n";
+        let v = lint_deterministic_iteration("x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn for_loop_over_hash_field_is_caught() {
+        let src = "struct C { map: HashMap<u64, u64> }\nimpl C {\n    fn dump(&self) {\n        for (k, v) in &self.map { out(k, v); }\n    }\n}\n";
+        let v = lint_deterministic_iteration("x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn keyed_lookups_and_btreemap_are_clean() {
+        let src = "fn f(flags: &BTreeMap<String, String>) {\n    let mut m = HashMap::new();\n    m.insert(1, 2);\n    let _ = m.get(&1).copied();\n    assert!(m.contains_key(&1));\n    for (k, v) in flags.iter() { out(k, v); }\n}\n";
+        assert!(lint_deterministic_iteration("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_in_tests_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        let m = HashMap::new();\n        for x in m.keys() {}\n    }\n}\n";
+        assert!(lint_deterministic_iteration("x.rs", src).is_empty());
+    }
+
+    // ---- float-reduction ----------------------------------------------
+
+    #[test]
+    fn seeded_naive_sum_is_caught() {
+        let src = "pub fn dot(a: &[f64], b: &[f64]) -> f64 {\n    a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>()\n}\n";
+        let v = lint_float_reduction("crates/core/src/kernel.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn sums_inside_approved_helpers_are_clean() {
+        let src = "pub fn kahan_sum<I>(items: I) -> f64 {\n    items.fold(0.0, |a, x| a + x) // compensated in the real impl\n}\npub fn user() -> f64 { kahan_sum(v.iter()) }\n";
+        assert!(lint_float_reduction("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fold_zero_accumulator_is_caught() {
+        let src = "fn total(v: &[f64]) -> f64 { v.iter().fold(0.0, |a, x| a + x) }\n";
+        let v = lint_float_reduction("x.rs", src);
+        assert_eq!(v.len(), 1);
+    }
+
+    // ---- bench-guard-coverage -----------------------------------------
+
+    fn guard_input(name: &str, bench: Option<&str>, ci: &str) -> BenchGuardInput {
+        BenchGuardInput {
+            name: name.to_string(),
+            bench_source: bench.map(|s| s.to_string()),
+            ci_text: ci.to_string(),
+        }
+    }
+
+    #[test]
+    fn seeded_unguarded_trajectory_is_caught() {
+        // No bench file at all.
+        let v = lint_bench_guards(&[guard_input("ghost", None, "")]);
+        assert_eq!(v.len(), 2, "{v:?}"); // missing bench + missing CI call
+                                         // Bench exists but has no quick guard, CI runs it anyway.
+        let v = lint_bench_guards(&[guard_input(
+            "kernel",
+            Some("criterion_main!(benches);"),
+            "cargo bench -p dispersal-bench --bench kernel -- --quick",
+        )]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].excerpt.contains("no --quick guard"));
+    }
+
+    #[test]
+    fn guarded_trajectory_is_clean() {
+        let v = lint_bench_guards(&[guard_input(
+            "kernel",
+            Some("if guard::quick_mode() { … } criterion_main!(benches);"),
+            "run: cargo bench -p dispersal-bench --bench kernel -- --quick",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    // ---- allowlist ----------------------------------------------------
+
+    #[test]
+    fn allowlist_suppresses_and_detects_stale() {
+        let mut violations = lint_no_unwrap("crates/sim/src/x.rs", "fn f() { y.unwrap() }\n");
+        assert_eq!(violations.len(), 1);
+        let allow = parse_allowlist(
+            "# burn-down\nno-unwrap-in-lib crates/sim/src/x.rs\nno-unwrap-in-lib crates/sim/src/gone.rs\n",
+        );
+        let stale = apply_allowlist(&mut violations, &allow);
+        assert!(violations[0].allowed);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].file, "crates/sim/src/gone.rs");
+        let report = Report { violations, stale_allowlist: stale, files_scanned: 1 };
+        assert!(report.failing(), "stale entries must fail the check");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = Report {
+            violations: lint_no_unwrap("a.rs", "fn f() { x.unwrap() }\n"),
+            ..Default::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"ok\": false"));
+        assert!(json.contains("\"lint\": \"no-unwrap-in-lib\""));
+        assert!(json.contains("\"line\": 1"));
+        let clean = Report::default().to_json();
+        assert!(clean.contains("\"ok\": true"));
+    }
+
+    // ---- the real workspace must be clean -----------------------------
+
+    #[test]
+    fn workspace_passes_with_empty_core_allowlist() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = run_check(&root).expect("scan workspace");
+        let text = report.render_text();
+        assert!(!report.failing(), "workspace must be lint-clean:\n{text}");
+        // The acceptance bar: no allowlist entry shadows crates/core.
+        assert!(
+            !report.violations.iter().any(|v| v.allowed && v.file.starts_with("crates/core/")),
+            "crates/core must need no allowlist entries:\n{text}"
+        );
+        assert!(report.files_scanned > 30, "walk found {} files", report.files_scanned);
+    }
+}

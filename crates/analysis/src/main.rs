@@ -1,0 +1,75 @@
+//! CLI for the project lint pass: `cargo run -p analysis -- check`.
+//!
+//! Subcommands:
+//!
+//! * `check [--json] [--root DIR]` — run every lint over the workspace.
+//!   Text findings (`file:line: [lint] excerpt`) go to stdout; `--json`
+//!   switches stdout to the machine-readable report. Exit code 1 on any
+//!   non-allowlisted violation or stale allowlist entry, 2 on usage/IO
+//!   errors.
+//! * `lints` — print the lint catalog.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: analysis <check [--json] [--root DIR] | lints>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lints") => {
+            for lint in analysis::Lint::all() {
+                println!("{:<26} {}", lint.name(), lint.describe());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let mut json = false;
+            // Default root: the workspace this binary was built from.
+            let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
+                    "--root" => {
+                        let Some(dir) = args.get(i + 1) else {
+                            eprintln!("analysis: --root needs a value");
+                            return usage();
+                        };
+                        root = PathBuf::from(dir);
+                        i += 2;
+                    }
+                    other => {
+                        eprintln!("analysis: unknown flag {other}");
+                        return usage();
+                    }
+                }
+            }
+            match analysis::run_check(&root) {
+                Ok(report) => {
+                    if json {
+                        print!("{}", report.to_json());
+                    } else {
+                        print!("{}", report.render_text());
+                    }
+                    if report.failing() {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("analysis: error scanning {}: {e}", root.display());
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

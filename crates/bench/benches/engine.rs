@@ -9,7 +9,7 @@
 //! host the multi-thread rows measure pool overhead, not speedup; record
 //! the host core count next to any number you archive.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use dispersal_core::policy::Exclusive;
 use dispersal_core::strategy::Strategy;
 use dispersal_core::value::ValueProfile;
@@ -43,5 +43,45 @@ fn bench_engine_thread_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// CI guard mode (`-- --quick`): the 4-thread pool must stay within a
+/// coarse overhead bound of the 1-thread run on the same workload. CI
+/// runners may be single-core, so a parallel *speedup* cannot be
+/// required — but queue/lock pathology (a regression serializing workers
+/// behind contention) shows up as a blown overhead ratio on any host.
+/// The two runs must also agree bit-for-bit (the pool's determinism
+/// contract), checked before any timing verdict.
+fn quick_guard() -> ! {
+    use dispersal_bench::guard;
+    let f = ValueProfile::zipf(20, 1.0, 1.0).unwrap();
+    let p = Strategy::proportional(f.values()).unwrap();
+    let cfg = McConfig { trials: 20_000, seed: 2, shards: 64 };
+    let run = || estimate_symmetric(&f, &Exclusive, &p, 8, cfg).unwrap();
+    rayon::set_num_threads(1);
+    let reference = run();
+    let single = guard::time_per_call(5, || {
+        black_box(run());
+    });
+    rayon::set_num_threads(4);
+    let pooled_out = run();
+    let pooled = guard::time_per_call(5, || {
+        black_box(run());
+    });
+    rayon::set_num_threads(0);
+    if pooled_out.payoff.mean.to_bits() != reference.payoff.mean.to_bits() {
+        eprintln!(
+            "quick-guard engine: 4-thread mean {} != 1-thread mean {} (determinism break)",
+            pooled_out.payoff.mean, reference.payoff.mean
+        );
+        std::process::exit(1);
+    }
+    guard::finish(guard::check_overhead("engine pool_overhead 4-thread", single, pooled, 4.0))
+}
+
 criterion_group!(benches, bench_engine_thread_sweep);
-criterion_main!(benches);
+
+fn main() {
+    if dispersal_bench::guard::quick_mode() {
+        quick_guard();
+    }
+    benches();
+}

@@ -23,7 +23,7 @@ use dispersal_mech::catalog::{parse_policy, parse_profile, standard_catalog};
 use dispersal_mech::evaluator::{catalog_response_matrix, evaluate_catalog};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: dispersal <solve|sigma-star|optimal|spoa|ess|evaluate|responses> \
@@ -40,7 +40,7 @@ const FLAG_SPEC: &[(&str, &str)] = &[
     ("--seed", "seed"),
 ];
 
-fn get_k(flags: &HashMap<String, String>) -> Result<usize> {
+fn get_k(flags: &BTreeMap<String, String>) -> Result<usize> {
     flags
         .get("k")
         .ok_or_else(|| Error::InvalidArgument("missing -k <players>".into()))?
@@ -48,7 +48,7 @@ fn get_k(flags: &HashMap<String, String>) -> Result<usize> {
         .map_err(|e| Error::InvalidArgument(format!("bad -k value: {e}")))
 }
 
-fn get_profile(flags: &HashMap<String, String>) -> Result<ValueProfile> {
+fn get_profile(flags: &BTreeMap<String, String>) -> Result<ValueProfile> {
     parse_profile(
         flags
             .get("profile")

@@ -35,6 +35,24 @@ pub fn check_speedup(label: &str, baseline_s: f64, variant_s: f64) -> bool {
     speedup > 1.0
 }
 
+/// Print a `baseline vs variant` comparison line and return whether the
+/// variant stays within `max_ratio ×` the baseline.
+///
+/// The guard form for paths whose *win* is host-dependent — e.g. the
+/// engine's thread sweep, where a single-core CI runner can never show a
+/// multi-thread speedup — but whose *failure mode* (pathological pool or
+/// lock overhead) is host-independent and worth a hard floor.
+pub fn check_overhead(label: &str, baseline_s: f64, variant_s: f64, max_ratio: f64) -> bool {
+    let ratio = variant_s / baseline_s;
+    println!(
+        "quick-guard {label}: baseline {:.1} us/call, variant {:.1} us/call, \
+         overhead {ratio:.2}x (max {max_ratio:.2}x)",
+        baseline_s * 1e6,
+        variant_s * 1e6,
+    );
+    ratio < max_ratio
+}
+
 /// Terminate the quick mode: exit 0 if every guard passed, 1 otherwise.
 pub fn finish(all_ok: bool) -> ! {
     if all_ok {
@@ -68,5 +86,12 @@ mod tests {
         assert!(check_speedup("faster", 2.0, 1.0));
         assert!(!check_speedup("slower", 1.0, 2.0));
         assert!(!check_speedup("equal", 1.0, 1.0));
+    }
+
+    #[test]
+    fn overhead_check_bounds_the_ratio() {
+        assert!(check_overhead("cheap", 1.0, 2.0, 4.0));
+        assert!(!check_overhead("pathological", 1.0, 8.0, 4.0));
+        assert!(!check_overhead("at-the-bound", 1.0, 4.0, 4.0));
     }
 }

@@ -17,7 +17,7 @@
 //! * `--out-dir D` — results directory (sets `DISPERSAL_RESULTS_DIR`).
 
 use dispersal_core::{Error, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -26,8 +26,14 @@ use std::time::{Duration, Instant};
 /// key)` pairs; every flag takes exactly one value. Shared by the
 /// experiment runner and the `dispersal` CLI so all binaries reject
 /// unknown flags the same way.
-pub fn parse_flags(args: &[String], spec: &[(&str, &str)]) -> Result<HashMap<String, String>> {
-    let mut flags = HashMap::new();
+///
+/// Returns a `BTreeMap` (not a `HashMap`) on purpose: everything flag
+/// data feeds — run manifests, error listings, debug dumps — iterates
+/// the map, and hash iteration order is randomized per process. Sorted
+/// keys make every flag-derived output byte-deterministic
+/// (`deterministic-iteration` lint).
+pub fn parse_flags(args: &[String], spec: &[(&str, &str)]) -> Result<BTreeMap<String, String>> {
+    let mut flags = BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
         let Some(&(_, key)) = spec.iter().find(|(flag, _)| *flag == args[i]) else {
@@ -43,7 +49,7 @@ pub fn parse_flags(args: &[String], spec: &[(&str, &str)]) -> Result<HashMap<Str
 }
 
 fn parse_value<T: std::str::FromStr>(
-    flags: &HashMap<String, String>,
+    flags: &BTreeMap<String, String>,
     key: &str,
 ) -> Result<Option<T>>
 where
@@ -66,6 +72,10 @@ pub struct RunContext {
     seed: Option<u64>,
     jobs: Option<usize>,
     outputs: Vec<String>,
+    /// The raw parsed flags, echoed into the manifest for provenance.
+    /// `BTreeMap` iteration is sorted, so the manifest bytes are
+    /// deterministic for a given command line.
+    flags: BTreeMap<String, String>,
 }
 
 impl RunContext {
@@ -112,14 +122,21 @@ fn manifest_json(ctx: &RunContext, wall: Duration) -> String {
     let opt = |v: Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
     let outputs: Vec<String> =
         ctx.outputs.iter().map(|o| format!("\"{}\"", json_escape(o))).collect();
+    // Sorted by construction: BTreeMap iteration order is the key order.
+    let flags: Vec<String> = ctx
+        .flags
+        .iter()
+        .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+        .collect();
     format!(
         "{{\n  \"experiment\": \"{}\",\n  \"trials\": {},\n  \"seed\": {},\n  \"jobs\": {},\n  \
-         \"wall_ms\": {},\n  \"outputs\": [{}]\n}}\n",
+         \"wall_ms\": {},\n  \"flags\": {{{}}},\n  \"outputs\": [{}]\n}}\n",
         json_escape(ctx.name),
         opt(ctx.trials),
         opt(ctx.seed),
         ctx.jobs.map_or_else(|| ctx.effective_jobs().to_string(), |j| j.to_string()),
         wall.as_millis(),
+        flags.join(", "),
         outputs.join(", ")
     )
 }
@@ -171,6 +188,7 @@ fn drive(
         seed: parse_value(&flags, "seed")?,
         jobs,
         outputs: Vec::new(),
+        flags,
     };
     let started = Instant::now();
     run(&mut ctx)?;
@@ -207,20 +225,30 @@ mod tests {
 
     #[test]
     fn context_defaults_and_overrides() {
-        let ctx =
-            RunContext { name: "t", trials: Some(5), seed: None, jobs: None, outputs: Vec::new() };
+        let ctx = RunContext {
+            name: "t",
+            trials: Some(5),
+            seed: None,
+            jobs: None,
+            outputs: Vec::new(),
+            flags: BTreeMap::new(),
+        };
         assert_eq!(ctx.trials_or(100), 5);
         assert_eq!(ctx.seed_or(42), 42);
     }
 
     #[test]
     fn manifest_shape() {
+        let spec = &[("--trials", "trials"), ("--seed", "seed"), ("--jobs", "jobs")];
+        let flags =
+            parse_flags(&argv(&["--trials", "10", "--seed", "7", "--jobs", "3"]), spec).unwrap();
         let ctx = RunContext {
             name: "exp_x",
             trials: Some(10),
             seed: None,
             jobs: Some(3),
             outputs: vec!["a.csv".into(), "b.csv".into()],
+            flags,
         };
         let json = manifest_json(&ctx, Duration::from_millis(1234));
         assert!(json.contains("\"experiment\": \"exp_x\""));
@@ -229,6 +257,12 @@ mod tests {
         assert!(json.contains("\"jobs\": 3"));
         assert!(json.contains("\"wall_ms\": 1234"));
         assert!(json.contains("\"a.csv\", \"b.csv\""));
+        // Flags are echoed in sorted key order regardless of the order
+        // they appeared on the command line.
+        assert!(
+            json.contains("\"flags\": {\"jobs\": \"3\", \"seed\": \"7\", \"trials\": \"10\"}"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -91,6 +91,15 @@ pub enum Error {
     },
     /// Generic invalid argument.
     InvalidArgument(String),
+    /// An internal invariant was violated — a bug in this crate, not in
+    /// the caller's input. Library code carries these as typed errors
+    /// instead of panicking (`no-unwrap-in-lib`): a corrupted invariant
+    /// inside a worker shard surfaces as an `Err` the driver can report,
+    /// not a poisoned thread pool.
+    Internal {
+        /// The invariant that was violated.
+        what: &'static str,
+    },
     /// An I/O operation failed (experiment output, result files). Stores
     /// the rendered `std::io::Error` so this enum stays `Clone`/`PartialEq`.
     Io(String),
@@ -149,6 +158,9 @@ impl fmt::Display for Error {
                 write!(out, "{what}: expected a slice of length {expected}, got {got}")
             }
             Error::InvalidArgument(msg) => write!(out, "invalid argument: {msg}"),
+            Error::Internal { what } => {
+                write!(out, "internal invariant violated (library bug): {what}")
+            }
             Error::Io(msg) => write!(out, "I/O error: {msg}"),
         }
     }
@@ -181,6 +193,7 @@ mod tests {
             Error::InvalidTolerance { tol: -1e-9 },
             Error::LengthMismatch { what: "eval_many_with", expected: 3, got: 2 },
             Error::InvalidArgument("x".into()),
+            Error::Internal { what: "cache entry missing after insert" },
             Error::Io("disk full".into()),
         ];
         for v in variants {

@@ -62,7 +62,7 @@ pub fn solve_ifd_with_costs(
                 let vb = f.value(b) - costs[b];
                 va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
             })
-            .expect("non-empty profile");
+            .ok_or(Error::EmptyProfile)?;
         return Ok(CostIfd {
             strategy: Strategy::delta(f.len(), best)?,
             value: f.value(best) - costs[best],

@@ -228,13 +228,16 @@ fn check_len(what: &'static str, expected: usize, got: usize) -> Result<()> {
 }
 
 /// `ln C(n, j)` for `j = 0..=n`, built from one prefix-sum pass over
-/// `ln(i)`. The prefix accumulation performs the additions in the same
-/// order as [`crate::numerics::ln_factorial`]'s iterator sum, so every
-/// table entry is bit-identical to `ln_binomial(n, j)`.
+/// `ln(i)`. The prefix runs through the same incremental
+/// [`crate::numerics::Kahan`] accumulator as
+/// [`crate::numerics::ln_factorial`]'s compensated sum, so every table
+/// entry is bit-identical to `ln_binomial(n, j)`.
 fn ln_binom_row(n: usize) -> Vec<f64> {
     let mut ln_fact = vec![0.0; n + 1];
-    for i in 2..=n {
-        ln_fact[i] = ln_fact[i - 1] + (i as f64).ln();
+    let mut acc = crate::numerics::Kahan::new();
+    for (i, slot) in ln_fact.iter_mut().enumerate().skip(2) {
+        acc.push((i as f64).ln());
+        *slot = acc.value();
     }
     (0..=n).map(|j| ln_fact[n] - ln_fact[j] - ln_fact[n - j]).collect()
 }
@@ -286,7 +289,8 @@ impl GTable {
     /// `g(1) = C(k)` — exact, free.
     #[inline]
     pub fn at_one(&self) -> f64 {
-        *self.coeffs.last().expect("non-empty by construction")
+        // Non-empty by construction (k >= 1 is validated at build time).
+        self.coeffs[self.coeffs.len() - 1]
     }
 
     /// Magnitude scale of the coefficients (used for relative error
@@ -338,9 +342,7 @@ impl GTable {
     /// Batched exact evaluation, one internal scratch for the whole slice.
     pub fn eval_many(&self, qs: &[f64]) -> Vec<f64> {
         let mut scratch = self.scratch();
-        let mut out = vec![0.0; qs.len()];
-        self.eval_many_with(&mut scratch, qs, &mut out).expect("out sized to qs above");
-        out
+        qs.iter().map(|&q| self.eval_with(&mut scratch, q)).collect()
     }
 
     /// Throughput-oriented exact `g(q)`: the same start-at-the-mode
@@ -918,7 +920,10 @@ impl GBatch {
     pub fn eval_grid(&self, qs: &[f64]) -> Vec<f64> {
         let mut scratch = self.scratch();
         let mut out = vec![0.0; self.rows * qs.len()];
-        self.eval_fused_many_into(&mut scratch, qs, &mut out).expect("out sized above");
+        // `out` is sized to rows × qs.len() above, so the only failure
+        // mode (a length mismatch) cannot occur; discarding the `Result`
+        // keeps this convenience wrapper panic-free.
+        self.eval_fused_many_into(&mut scratch, qs, &mut out).unwrap_or_default();
         out
     }
 }
@@ -1156,7 +1161,9 @@ impl PbCache {
         } else {
             self.hits += 1;
         }
-        Ok(self.map.get(&self.key_buf).expect("inserted above"))
+        self.map
+            .get(&self.key_buf)
+            .ok_or(Error::Internal { what: "PbCache entry missing right after insert" })
     }
 
     /// Number of distinct profile classes built so far.
@@ -1686,5 +1693,42 @@ mod tests {
             let expect = f.value(x) * ctx.g(p.prob(x)).unwrap();
             assert_eq!(v.to_bits(), expect.to_bits(), "site {x}");
         }
+    }
+
+    #[test]
+    fn pb_cache_tables_independent_of_warm_order() {
+        // The same set of profile classes warmed in two different orders
+        // must yield bit-identical tables per class: lookups are keyed
+        // (never iterated), and each class's DP runs over its *sorted*
+        // representative regardless of when it entered the cache.
+        let profiles: [&[f64]; 4] = [&[0.2, 0.8], &[0.5, 0.5, 0.5], &[0.9], &[0.1, 0.2, 0.3, 0.4]];
+        let mut forward = PbCache::new();
+        let mut reverse = PbCache::new();
+        let fwd: Vec<Vec<f64>> =
+            profiles.iter().map(|p| forward.table(p).unwrap().pmf().to_vec()).collect();
+        for p in profiles.iter().rev() {
+            reverse.table(p).unwrap();
+        }
+        assert_eq!(forward.builds(), reverse.builds());
+        for (p, expect) in profiles.iter().zip(&fwd) {
+            let got = reverse.table(p).unwrap().pmf();
+            for (a, b) in expect.iter().zip(got) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn miri_gtable_eval_small() {
+        // Tiny end-to-end table evaluation for the Miri CI subset: builds
+        // the k = 3 sharing table and checks one interior point against
+        // the scalar Bernstein form.
+        let table = GTable::new(&Sharing, 3).unwrap();
+        let mut scratch = table.scratch();
+        let q = 0.25;
+        let expect: f64 = crate::numerics::kahan_sum(
+            (0..=2).map(|j| crate::numerics::bernstein(2, j, q) * 1.0 / (j as f64 + 1.0)),
+        );
+        assert!((table.eval_with(&mut scratch, q) - expect).abs() < 1e-12);
     }
 }

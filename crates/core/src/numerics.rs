@@ -11,9 +11,10 @@
 /// cached table. `n` never exceeds a few thousand in this crate, so a plain
 /// iterative sum is both exact enough and fast.
 pub fn ln_factorial(n: usize) -> f64 {
-    // Iterative sum of ln(i). For n up to ~1e6 the accumulated error is
-    // far below the tolerance of any solver in this crate.
-    (2..=n).map(|i| (i as f64).ln()).sum()
+    // Compensated sum of ln(i): thousands of similar-magnitude terms
+    // accumulate here, and `float-reduction` holds this file to the
+    // order-robust helpers.
+    kahan_sum((2..=n).map(|i| (i as f64).ln()))
 }
 
 /// Natural log of the binomial coefficient `C(n, k)`.
@@ -120,7 +121,9 @@ pub fn poisson_binomial_pmf(probs: &[f64]) -> Vec<f64> {
 pub fn poisson_binomial_expectation(probs: &[f64], h: &[f64]) -> f64 {
     let pmf = poisson_binomial_pmf(probs);
     debug_assert!(h.len() >= pmf.len());
-    pmf.iter().zip(h.iter()).map(|(p, v)| p * v).sum()
+    // Kahan dot, matching `kernel::PbTable::expectation` term-for-term so
+    // the one-shot and table-backed paths agree bit-for-bit.
+    kahan_sum(pmf.iter().zip(h.iter()).map(|(p, v)| p * v))
 }
 
 /// Simple scalar bisection on a monotone (non-increasing) function.
@@ -146,18 +149,52 @@ pub fn bisect_decreasing<F: FnMut(f64) -> f64>(
     0.5 * (lo + hi)
 }
 
+/// Incremental Kahan-compensated accumulator.
+///
+/// The streaming form of [`kahan_sum`]: `push` performs exactly the same
+/// floating-point operation sequence per term, so the running [`value`]
+/// after `i` pushes is bit-identical to `kahan_sum` over the first `i`
+/// items. Prefix-sum tables (e.g. the log-factorial row behind
+/// `GTable`) lean on that equivalence to stay bit-identical to the
+/// one-shot helpers.
+///
+/// [`value`]: Kahan::value
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Kahan {
+    sum: f64,
+    comp: f64,
+}
+
+impl Kahan {
+    /// Fresh accumulator at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one term into the compensated sum.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        let y = x - self.comp;
+        let t = self.sum + y;
+        self.comp = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// The compensated running total.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum
+    }
+}
+
 /// Kahan-compensated sum, used where thousands of similar-magnitude terms
 /// accumulate (coverage over large `M`).
 pub fn kahan_sum<I: IntoIterator<Item = f64>>(items: I) -> f64 {
-    let mut sum = 0.0;
-    let mut comp = 0.0;
+    let mut acc = Kahan::new();
     for x in items {
-        let y = x - comp;
-        let t = sum + y;
-        comp = (t - sum) - y;
-        sum = t;
+        acc.push(x);
     }
-    sum
+    acc.value()
 }
 
 #[cfg(test)]
@@ -291,5 +328,39 @@ mod tests {
     #[test]
     fn bernstein_is_binomial_pmf() {
         assert_close(bernstein(4, 2, 0.3), binomial_pmf(4, 2, 0.3), 0.0);
+    }
+
+    // `miri_*` tests form the CI Miri subset: small, allocation-light
+    // exercises of the unsafe-adjacent numerics (slice indexing, in-place
+    // DP updates) that finish in seconds under the interpreter.
+
+    #[test]
+    fn miri_kahan_incremental_matches_one_shot() {
+        let items = [1.0, 1e-16, -0.25, 3.5, 1e-16];
+        let mut acc = Kahan::new();
+        for (i, &x) in items.iter().enumerate() {
+            acc.push(x);
+            let prefix = kahan_sum(items[..=i].iter().copied());
+            assert_eq!(acc.value().to_bits(), prefix.to_bits());
+        }
+    }
+
+    #[test]
+    fn miri_convolve_bernoulli_in_place() {
+        let mut pmf = vec![1.0, 0.0, 0.0];
+        convolve_bernoulli(&mut pmf, 0, 0.25);
+        convolve_bernoulli(&mut pmf, 1, 0.5);
+        assert_close(pmf[0], 0.375, 1e-15);
+        assert_close(pmf[1], 0.5, 1e-15);
+        assert_close(pmf[2], 0.125, 1e-15);
+    }
+
+    #[test]
+    fn miri_binomial_pmf_vector_small() {
+        let pmf = binomial_pmf_vector(3, 0.5);
+        for (j, &p) in pmf.iter().enumerate() {
+            assert_close(p, binomial_pmf(3, j, 0.5), 1e-14);
+        }
+        assert_close(kahan_sum(pmf.iter().copied()), 1.0, 1e-14);
     }
 }

@@ -121,7 +121,7 @@ pub fn optimal_coverage_gradient(f: &ValueProfile, k: usize) -> Result<OptimalCo
             best = Some(OptimalCoverage { strategy: run.point, coverage: cov, lambda: None });
         }
     }
-    Ok(best.expect("at least one start"))
+    best.ok_or(Error::Internal { what: "gradient ascent ran zero starts" })
 }
 
 /// Convenience: compute `p⋆` by water-filling (the fast exact path).

@@ -78,7 +78,7 @@ pub fn welfare_optimum_with_context(
             best = Some(WelfareOptimum { strategy: run.point, payoff: u });
         }
     }
-    Ok(best.expect("at least one start"))
+    best.ok_or(Error::Internal { what: "welfare ascent ran zero starts" })
 }
 
 /// Exact welfare optimum for `M = 2` by golden-section search on

@@ -161,20 +161,23 @@ pub trait Experiment: Sync {
 /// Execute `exp` under `plan`: shards run in parallel, each on its own
 /// deterministic stream, and their outputs merge in shard order.
 pub fn run<E: Experiment>(exp: &E, plan: ShardPlan) -> Result<E::Output> {
-    // Validate once up front so worker shards cannot fail.
+    // Validate once up front so worker shards should not fail; if a
+    // non-deterministic `make_state` fails anyway, the fallible collect
+    // short-circuits the first shard error back to the caller as a typed
+    // `Err` instead of panicking inside a pool worker.
     exp.make_state()?;
     let outputs: Vec<E::Output> = (0..plan.shards)
         .into_par_iter()
-        .map(|shard| {
-            let mut state = exp.make_state().expect("validated before sharding");
+        .map(|shard| -> Result<E::Output> {
+            let mut state = exp.make_state()?;
             let mut rng = plan.shard_rng(shard);
             let mut acc = E::Output::default();
             for _ in 0..plan.shard_trials(shard) {
                 exp.trial(&mut state, &mut rng, &mut acc);
             }
-            acc
+            Ok(acc)
         })
-        .collect();
+        .collect::<Result<Vec<E::Output>>>()?;
     let mut total = E::Output::default();
     for output in outputs {
         total.merge(output);

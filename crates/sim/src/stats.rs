@@ -124,7 +124,9 @@ pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
         }
         means.push(acc / n as f64);
     }
-    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Total order on f64 (no NaNs can occur here: means of finite data);
+    // also keeps this library path panic-free.
+    means.sort_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((resamples as f64) * alpha).floor() as usize;
     let hi_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples - 1);

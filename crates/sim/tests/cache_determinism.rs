@@ -1,0 +1,103 @@
+//! Cache-state independence of the sweep outputs (`deterministic-iteration`
+//! contract, dynamic side).
+//!
+//! `GridCache` memoizes interpolation grids in a `HashMap`, which is fine
+//! *only* because every access is a keyed lookup — nothing ever iterates
+//! the map into an output. These tests pin the observable consequence:
+//! sweep results are bit-identical regardless of the order grids were
+//! warmed into the cache, whether entries arrived via the single-policy
+//! or the batched path, and at every worker-thread count.
+
+use dispersal_core::policy::{Congestion, Sharing, TwoLevel};
+use dispersal_sim::sweep::{
+    response_grid_batch_interpolated, response_grid_interpolated, GridCache,
+};
+use std::sync::Mutex;
+
+/// Serializes the tests that reconfigure the global pool width, mirroring
+/// determinism.rs's `THREAD_SWEEP_LOCK` (the pool override is process
+/// global; concurrent test threads must not interleave reconfigurations).
+static THREAD_SWEEP_LOCK: Mutex<()> = Mutex::new(());
+
+const KS: [usize; 3] = [5, 17, 64];
+const RESOLUTION: usize = 96;
+const TOL: f64 = 1e-9;
+
+fn curve_bits(c: &dyn Congestion, cache: &mut GridCache) -> Vec<Vec<u64>> {
+    response_grid_interpolated(c, &KS, RESOLUTION, TOL, cache)
+        .expect("interpolated sweep")
+        .into_iter()
+        .map(|curve| curve.g.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn grid_cache_results_independent_of_warm_order() {
+    let policies: [&dyn Congestion; 2] = [&Sharing, &TwoLevel { c: -0.3 }];
+    // Forward warm: policies × ks in natural order.
+    let mut forward = GridCache::new();
+    for c in policies {
+        for &k in &KS {
+            forward.table(c, k, TOL).expect("grid build");
+        }
+    }
+    // Reverse warm: same cells inserted in the opposite order.
+    let mut reverse = GridCache::new();
+    for c in policies.iter().rev() {
+        for &k in KS.iter().rev() {
+            reverse.table(*c, k, TOL).expect("grid build");
+        }
+    }
+    assert_eq!(forward.builds(), reverse.builds());
+    assert_eq!(forward.len(), reverse.len());
+    for c in policies {
+        let a = curve_bits(c, &mut forward);
+        let b = curve_bits(c, &mut reverse);
+        assert_eq!(a, b, "warm order changed sweep bits for {}", c.name());
+    }
+}
+
+#[test]
+fn grid_cache_shared_across_single_and_batched_paths() {
+    // A cache warmed by the single-policy path must serve the batched
+    // path from the same grids (no rebuilds) with identical bits, and
+    // vice versa against a cold cache.
+    let policies: [&dyn Congestion; 2] = [&Sharing, &TwoLevel { c: -0.3 }];
+    let mut warmed = GridCache::new();
+    for c in policies {
+        curve_bits(c, &mut warmed);
+    }
+    let builds_after_warm = warmed.builds();
+    let mut cold = GridCache::new();
+    let via_warm = response_grid_batch_interpolated(&policies, &KS, RESOLUTION, TOL, &mut warmed)
+        .expect("batched sweep");
+    let via_cold = response_grid_batch_interpolated(&policies, &KS, RESOLUTION, TOL, &mut cold)
+        .expect("batched sweep");
+    assert_eq!(warmed.builds(), builds_after_warm, "batched path rebuilt a warmed grid");
+    for (a, b) in via_warm.iter().zip(via_cold.iter()) {
+        assert_eq!(a.policy, b.policy);
+        assert_eq!(a.k, b.k);
+        let bits_a: Vec<u64> = a.g.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = b.g.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "cache temperature changed bits for ({}, {})", a.policy, a.k);
+    }
+}
+
+#[test]
+fn grid_cache_sweeps_bit_identical_across_thread_counts() {
+    let _guard = THREAD_SWEEP_LOCK.lock().unwrap();
+    let policy = TwoLevel { c: -0.3 };
+    let mut reference: Option<Vec<Vec<u64>>> = None;
+    for threads in [1usize, 2, 8] {
+        rayon::set_num_threads(threads);
+        let mut cache = GridCache::new();
+        let bits = curve_bits(&policy, &mut cache);
+        match &reference {
+            None => reference = Some(bits),
+            Some(expected) => {
+                assert_eq!(&bits, expected, "sweep bits changed at {threads} threads");
+            }
+        }
+    }
+    rayon::set_num_threads(0);
+}

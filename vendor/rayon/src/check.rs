@@ -1,0 +1,364 @@
+//! Loom-lite deterministic schedule exploration for the vendored pool.
+//!
+//! The production pool in [`crate`] runs workers on real OS threads that
+//! pull `(index, item)` pairs from a shared Mutex-guarded queue. Which
+//! worker wins each pull is decided by the OS scheduler, so a plain test
+//! run only ever observes *one* interleaving per execution. This module
+//! replaces that nondeterminism with a **controlled scheduler**: under
+//! [`with_schedule`], `execute` does not spawn threads at all — it
+//! simulates the pool's exact state machine (pull → run → pull …,
+//! per-task panic isolation, first-worker-in-join-order panic
+//! propagation) on the calling thread, with every scheduling decision
+//! taken from an explicit [`Schedule`].
+//!
+//! Driving the same body through *every* schedule (bounded-exhaustive
+//! via [`exhaustive_schedules`] for small task counts, seeded samples
+//! via [`seeded_schedules`] beyond) and comparing outputs turns the
+//! pool's determinism contract — bit-identical results at any thread
+//! count and any interleaving — into a checkable property:
+//! [`check_determinism`] reports the first pair of schedules whose
+//! outputs diverge. A divergence is exactly a schedule-sensitive data
+//! flow, i.e. a race that real threads would hit with OS-dependent
+//! probability.
+//!
+//! The simulation also asserts the pool's structural invariants on every
+//! schedule: no task is lost, no task runs twice, and a worker panic
+//! kills only that worker (the rest drain the queue) with the original
+//! payload re-raised at join — the same behavior the threaded
+//! implementation exhibits.
+//!
+//! Scope: the simulation runs on one thread, so it checks *schedule*
+//! sensitivity (logical races through shared state such as `Cell`s),
+//! not memory-model races — pair it with the ThreadSanitizer CI job,
+//! which runs the real threaded pool under `-Zsanitizer=thread`.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+
+/// One controlled interleaving of the pool.
+///
+/// `choices` is consumed left to right, one entry per scheduling point
+/// (a point where at least one worker can pull a queued item or run the
+/// item it holds). An entry naming a runnable worker selects it; any
+/// other value selects `runnable[entry % runnable.len()]`, so *every*
+/// `usize` sequence is a valid schedule (seeded random schedules need no
+/// legality pre-pass). When `choices` runs out, the lowest-indexed
+/// runnable worker acts — an empty `choices` is the deterministic
+/// "worker 0 first" baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schedule {
+    /// Simulated worker count (≥ 1); overrides the pool's usual
+    /// `current_num_threads` while the schedule is active.
+    pub workers: usize,
+    /// Worker chosen at each scheduling point.
+    pub choices: Vec<usize>,
+}
+
+struct Playback {
+    workers: usize,
+    choices: Vec<usize>,
+    pos: usize,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Playback>> = const { RefCell::new(None) };
+}
+
+/// Whether a schedule is installed on this thread (pool hook).
+pub(crate) fn is_active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// Run `body` with every pool execution on this thread driven by
+/// `schedule` instead of real worker threads.
+///
+/// Choices persist across multiple executions inside `body`: a second
+/// `collect` keeps consuming where the first stopped, then falls back to
+/// the lowest-runnable rule. Panics from `body` (including simulated
+/// worker panics) propagate after the schedule is uninstalled.
+pub fn with_schedule<R>(schedule: &Schedule, body: impl FnOnce() -> R) -> R {
+    assert!(schedule.workers >= 1, "schedule needs at least one worker");
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            ACTIVE.with(|a| *a.borrow_mut() = None);
+        }
+    }
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        assert!(slot.is_none(), "with_schedule does not nest");
+        *slot =
+            Some(Playback { workers: schedule.workers, choices: schedule.choices.clone(), pos: 0 });
+    });
+    let _reset = Reset;
+    body()
+}
+
+/// Resolve the next scheduling decision against the active playback.
+fn next_choice(runnable: &[usize]) -> usize {
+    ACTIVE.with(|a| {
+        let mut borrow = a.borrow_mut();
+        let playback = borrow.as_mut().expect("schedule checker active");
+        if playback.pos >= playback.choices.len() {
+            return runnable[0];
+        }
+        let raw = playback.choices[playback.pos];
+        playback.pos += 1;
+        if runnable.contains(&raw) {
+            raw
+        } else {
+            runnable[raw % runnable.len()]
+        }
+    })
+}
+
+enum Worker<T> {
+    /// Never acted; interchangeable with every other fresh worker.
+    Fresh,
+    /// Between tasks: next productive action is a pull.
+    Idle,
+    /// Holding `(slot, item)`: next productive action runs it.
+    Holding(usize, T),
+    /// Observed the empty queue and exited its loop.
+    Finished,
+    /// Died running a task; its panic payload is re-raised at join.
+    Dead,
+}
+
+/// Simulate one pool execution under the active schedule (pool hook).
+///
+/// Mirrors the threaded `execute` exactly: workers pull one `(index,
+/// item)` pair at a time, results land in slot `index`, a task panic
+/// kills its worker while the rest keep draining, and after the
+/// simulated join the payload of the panicked worker with the smallest
+/// index is re-raised — the same payload the scope's in-order `join`
+/// loop would resume with.
+pub(crate) fn run_active<T, O, F: Fn(T) -> O>(items: Vec<T>, f: F) -> Vec<O> {
+    let workers =
+        ACTIVE.with(|a| a.borrow().as_ref().map(|p| p.workers)).expect("schedule checker active");
+    let n = items.len();
+    let mut queue = items.into_iter().enumerate();
+    let mut queue_len = n;
+    let mut slots: Vec<Option<O>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut pool: Vec<Worker<T>> = (0..workers).map(|_| Worker::Fresh).collect();
+    let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
+    loop {
+        // Workers facing an empty queue with empty hands can only observe
+        // it and exit; that commutes with everything observable, so it is
+        // not a scheduling point.
+        if queue_len == 0 {
+            for w in pool.iter_mut() {
+                if matches!(w, Worker::Fresh | Worker::Idle) {
+                    *w = Worker::Finished;
+                }
+            }
+        }
+        let runnable: Vec<usize> = pool
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| {
+                matches!(w, Worker::Holding(..))
+                    || (queue_len > 0 && matches!(w, Worker::Fresh | Worker::Idle))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            break;
+        }
+        let chosen = next_choice(&runnable);
+        match std::mem::replace(&mut pool[chosen], Worker::Idle) {
+            Worker::Holding(slot, item) => {
+                match panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(out) => {
+                        assert!(
+                            slots[slot].is_none(),
+                            "pool invariant violated: task {slot} executed twice"
+                        );
+                        slots[slot] = Some(out);
+                    }
+                    Err(payload) => {
+                        panics.push((chosen, payload));
+                        pool[chosen] = Worker::Dead;
+                    }
+                }
+            }
+            Worker::Fresh | Worker::Idle => {
+                let (slot, item) = queue.next().expect("runnable pull implies nonempty queue");
+                queue_len -= 1;
+                pool[chosen] = Worker::Holding(slot, item);
+            }
+            Worker::Finished | Worker::Dead => {
+                unreachable!("finished/dead workers are never runnable")
+            }
+        }
+    }
+    if let Some((_, payload)) = panics.into_iter().min_by_key(|&(worker, _)| worker) {
+        panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| panic!("pool invariant violated: task {i} was lost"))
+        })
+        .collect()
+}
+
+/// Every distinct interleaving of `tasks` items on a `workers`-worker
+/// pool, up to worker symmetry.
+///
+/// The enumeration walks the same state machine the playback executes
+/// (pull/run steps, empty-queue exits pruned as non-observable) by DFS,
+/// recording the worker chosen at each scheduling point. Workers that
+/// have not acted yet are interchangeable, so only the lowest-indexed
+/// fresh worker is ever branched on — the classic symmetry reduction;
+/// schedules differing only by a renaming of untouched workers collapse
+/// to one.
+///
+/// Bounded-exhaustive by design: intended for `tasks ≤ 4` (typically a
+/// few dozen to a few thousand schedules); use [`seeded_schedules`] for
+/// larger batches.
+pub fn exhaustive_schedules(workers: usize, tasks: usize) -> Vec<Schedule> {
+    assert!(workers >= 1, "need at least one worker");
+    #[derive(Clone, Copy, PartialEq)]
+    enum S {
+        Fresh,
+        Idle,
+        Holding,
+        Finished,
+    }
+    fn dfs(
+        workers: usize,
+        queue: usize,
+        mut pool: Vec<S>,
+        trace: &mut Vec<usize>,
+        out: &mut Vec<Schedule>,
+    ) {
+        if queue == 0 {
+            for s in pool.iter_mut() {
+                if matches!(s, S::Fresh | S::Idle) {
+                    *s = S::Finished;
+                }
+            }
+        }
+        let mut options = Vec::new();
+        let mut fresh_seen = false;
+        for (i, s) in pool.iter().enumerate() {
+            match s {
+                S::Holding => options.push(i),
+                S::Fresh if queue > 0 && !fresh_seen => {
+                    options.push(i);
+                    fresh_seen = true;
+                }
+                S::Idle if queue > 0 => options.push(i),
+                _ => {}
+            }
+        }
+        if options.is_empty() {
+            out.push(Schedule { workers, choices: trace.clone() });
+            return;
+        }
+        for w in options {
+            let mut next_pool = pool.clone();
+            let mut next_queue = queue;
+            if next_pool[w] == S::Holding {
+                next_pool[w] = S::Idle;
+            } else {
+                next_pool[w] = S::Holding;
+                next_queue -= 1;
+            }
+            trace.push(w);
+            dfs(workers, next_queue, next_pool, trace, out);
+            trace.pop();
+        }
+    }
+    let mut out = Vec::new();
+    dfs(workers, tasks, vec![S::Fresh; workers], &mut Vec::new(), &mut out);
+    out
+}
+
+/// `count` pseudo-random schedules from `seed`, reproducibly.
+///
+/// Raw xorshift64* draws fill each choice list (long enough to cover
+/// every scheduling point of a `tasks`-item run); the playback rule in
+/// [`Schedule`] maps any value onto a runnable worker, so no legality
+/// filtering is needed. The same `(workers, tasks, seed, count)` always
+/// yields the same schedules.
+pub fn seeded_schedules(workers: usize, tasks: usize, seed: u64, count: usize) -> Vec<Schedule> {
+    assert!(workers >= 1, "need at least one worker");
+    // splitmix64 scrambles the seed so that seed = 0 works; xorshift64*
+    // generates the stream.
+    let mut state = {
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) | 1
+    };
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let steps = 2 * tasks + workers;
+    (0..count)
+        .map(|_| Schedule { workers, choices: (0..steps).map(|_| next() as usize).collect() })
+        .collect()
+}
+
+/// Two schedules whose executions of the same body produced different
+/// values — evidence of schedule-sensitive (racy) data flow.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The first schedule run (the reference interleaving).
+    pub baseline: Schedule,
+    /// The schedule that disagreed with it.
+    pub schedule: Schedule,
+    /// `Debug` rendering of the baseline value.
+    pub baseline_value: String,
+    /// `Debug` rendering of the diverging value.
+    pub value: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "schedule {:?} produced {} but baseline {:?} produced {}",
+            self.schedule.choices, self.value, self.baseline.choices, self.baseline_value
+        )
+    }
+}
+
+/// Run `body` under every schedule in `schedules` and require one value.
+///
+/// Returns the common value if every interleaving agrees, or the first
+/// [`Divergence`] otherwise. Compare with `PartialEq` on something that
+/// captures *bits* (e.g. map `f64`s through `to_bits`) to check the
+/// repo's bit-identical determinism contract rather than approximate
+/// equality. Panics from `body` propagate from the offending schedule.
+pub fn check_determinism<R: PartialEq + std::fmt::Debug>(
+    schedules: &[Schedule],
+    body: impl Fn() -> R,
+) -> Result<R, Box<Divergence>> {
+    assert!(!schedules.is_empty(), "need at least one schedule");
+    let mut baseline: Option<(Schedule, R)> = None;
+    for schedule in schedules {
+        let value = with_schedule(schedule, &body);
+        match &baseline {
+            None => baseline = Some((schedule.clone(), value)),
+            Some((reference, expected)) => {
+                if value != *expected {
+                    return Err(Box::new(Divergence {
+                        baseline: reference.clone(),
+                        schedule: schedule.clone(),
+                        baseline_value: format!("{expected:?}"),
+                        value: format!("{value:?}"),
+                    }));
+                }
+            }
+        }
+    }
+    Ok(baseline.expect("at least one schedule ran").1)
+}

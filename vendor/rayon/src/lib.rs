@@ -27,6 +27,9 @@ use std::panic;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+#[cfg(feature = "check")]
+pub mod check;
+
 /// In-process worker-count override; 0 means "no override". Takes
 /// precedence over `RAYON_NUM_THREADS`.
 static NUM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -77,6 +80,15 @@ where
     O: Send,
     F: Fn(T) -> O + Sync,
 {
+    // Schedule-checker hook (test-only, `check` feature): when a
+    // deterministic schedule is installed on this thread, simulate the
+    // pool under it instead of spawning workers — before the
+    // single-thread shortcut, so even 1-worker schedules replay through
+    // the same state machine.
+    #[cfg(feature = "check")]
+    if check::is_active() {
+        return check::run_active(items, f);
+    }
     let n = items.len();
     let threads = current_num_threads().min(n);
     if threads <= 1 {

@@ -184,9 +184,11 @@ fn impl_header(input: &Input, bound: &str) -> (String, String) {
     if input.generics.is_empty() {
         (String::new(), input.name.clone())
     } else {
-        let params: Vec<String> =
-            input.generics.iter().map(|g| format!("{g}: {bound}")).collect();
-        (format!("<{}>", params.join(", ")), format!("{}<{}>", input.name, input.generics.join(", ")))
+        let params: Vec<String> = input.generics.iter().map(|g| format!("{g}: {bound}")).collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", input.name, input.generics.join(", ")),
+        )
     }
 }
 

@@ -288,8 +288,6 @@ impl Parser<'_> {
                 return Ok(Value::Int(i));
             }
         }
-        text.parse::<f64>()
-            .map(Value::Float)
-            .map_err(|_| Error(format!("invalid number `{text}`")))
+        text.parse::<f64>().map(Value::Float).map_err(|_| Error(format!("invalid number `{text}`")))
     }
 }
