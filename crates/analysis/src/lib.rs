@@ -28,13 +28,17 @@
 //!   flagged.
 //! * [`Lint::FloatReduction`] — forbid naive `.sum()` reductions and
 //!   `fold(0.0, …)` accumulators inside the numerics hot files
-//!   (`kernel.rs`, `numerics.rs`) outside the approved compensated
-//!   helpers (`kahan_sum`). Naive summation makes results depend on term
-//!   order, which is exactly what batched/parallel evaluation reshuffles.
+//!   (`kernel.rs`, `numerics.rs`, `simd.rs`) outside the approved
+//!   compensated helpers (`kahan_sum`). Naive summation makes results
+//!   depend on term order, which is exactly what batched/parallel
+//!   evaluation reshuffles.
 //! * [`Lint::BenchGuardCoverage`] — every `BENCH_*.json` trajectory at
 //!   the repo root must have a bench target with a `--quick` guard mode
 //!   (`guard::quick_mode`) and a CI invocation of it, so no recorded
-//!   trajectory can regress unguarded.
+//!   trajectory can regress unguarded. Trajectories with named per-lane
+//!   floors ([`REQUIRED_GUARD_LABELS`]: the engine pool-reuse floor, the
+//!   batch AVX2-vs-scalar floor) must keep those labels in their guard —
+//!   deleting a floor is a lint failure, not a silent coverage loss.
 //!
 //! The scanner strips comments, strings, and character literals first
 //! (so doc-prose `panic!` or a `"HashMap"` string literal never fire) and
@@ -642,9 +646,22 @@ pub struct BenchGuardInput {
     pub ci_text: String,
 }
 
+/// Named floors that must stay wired inside specific benches' quick
+/// guards. A guard that merely *exists* can still silently lose a floor
+/// (e.g. the AVX2 lane check deleted during a refactor while the
+/// gemm-vs-loop floor keeps the guard "present"); pinning the guard
+/// labels here makes that a lint failure. Labels are the exact strings
+/// passed to `guard::check_speedup` / `guard::check_overhead`.
+pub const REQUIRED_GUARD_LABELS: [(&str, &[&str]); 2] = [
+    ("batch", &["batch gemm_speedup", "batch gbatch_gemm avx2-vs-scalar"]),
+    ("engine", &["engine pool_overhead", "engine pool_reuse dispatch-vs-respawn"]),
+];
+
 /// Check that every recorded bench trajectory has a quick guard wired
 /// into CI: a bench target of the same name that consults
-/// `guard::quick_mode`, and a `--bench <name> -- --quick` CI invocation.
+/// `guard::quick_mode`, a `--bench <name> -- --quick` CI invocation, and
+/// (for trajectories listed in [`REQUIRED_GUARD_LABELS`]) every named
+/// per-lane floor still present in the guard source.
 pub fn lint_bench_guards(inputs: &[BenchGuardInput]) -> Vec<Violation> {
     let mut out = Vec::new();
     for input in inputs {
@@ -667,7 +684,21 @@ pub fn lint_bench_guards(inputs: &[BenchGuardInput]) -> Vec<Violation> {
                 "crates/bench/benches/{}.rs has no --quick guard (guard::quick_mode)",
                 input.name
             )),
-            Some(_) => {}
+            Some(src) => {
+                for (bench, labels) in REQUIRED_GUARD_LABELS {
+                    if bench != input.name {
+                        continue;
+                    }
+                    for label in labels {
+                        if !src.contains(label) {
+                            fail(format!(
+                                "crates/bench/benches/{}.rs quick guard lost its `{label}` floor",
+                                input.name
+                            ));
+                        }
+                    }
+                }
+            }
         }
         let ci_call = format!("--bench {} -- --quick", input.name);
         if !input.ci_text.contains(&ci_call) {
@@ -839,7 +870,11 @@ const ITERATION_ROOTS: [&str; 7] = [
 ];
 
 /// The numerics hot files held to compensated-reduction discipline.
-const FLOAT_FILES: [&str; 2] = ["crates/core/src/kernel.rs", "crates/core/src/numerics.rs"];
+/// `simd.rs` holds both lanes of every kernel hot loop: its reductions
+/// are explicit blocked accumulator chains (the documented lane
+/// contracts), never ambient `.sum()` folds.
+const FLOAT_FILES: [&str; 3] =
+    ["crates/core/src/kernel.rs", "crates/core/src/numerics.rs", "crates/core/src/simd.rs"];
 
 /// Recursively collect `.rs` files under `dir`, workspace-relative,
 /// sorted (the scanner's own output must be deterministic).
@@ -1089,6 +1124,35 @@ let lt: &'static str = unrelated;"##;
             "kernel",
             Some("if guard::quick_mode() { … } criterion_main!(benches);"),
             "run: cargo bench -p dispersal-bench --bench kernel -- --quick",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn missing_required_guard_label_is_caught() {
+        // The batch guard exists and runs in CI, but the AVX2-lane floor
+        // was deleted — exactly the silent coverage loss the label table
+        // exists to catch.
+        let v = lint_bench_guards(&[guard_input(
+            "batch",
+            Some(
+                "if guard::quick_mode() { check_speedup(\"batch gemm_speedup p=16 k=64\", a, b); }",
+            ),
+            "run: cargo bench -p dispersal-bench --bench batch -- --quick",
+        )]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].excerpt.contains("batch gbatch_gemm avx2-vs-scalar"), "{v:?}");
+    }
+
+    #[test]
+    fn required_guard_labels_present_is_clean() {
+        let engine_src = "if guard::quick_mode() { \
+            check_overhead(\"engine pool_overhead 4-thread\", s, p, 4.0); \
+            check_speedup(\"engine pool_reuse dispatch-vs-respawn\", r, d); }";
+        let v = lint_bench_guards(&[guard_input(
+            "engine",
+            Some(engine_src),
+            "run: cargo bench -p dispersal-bench --bench engine -- --quick",
         )]);
         assert!(v.is_empty(), "{v:?}");
     }

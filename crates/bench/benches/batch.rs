@@ -96,11 +96,23 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
-/// CI guard mode (`-- --quick`): the per-policy `GTable` loop vs the
-/// `GBatch` GEMM at the acceptance cell (16 policies, k = 64); fails the
-/// process if the batched path has regressed below the per-policy loop.
+/// CI guard mode (`-- --quick`), one floor per lane width:
+///
+/// * **scalar lane** — the per-policy `GTable` loop vs the `GBatch` GEMM
+///   at the acceptance cell (16 policies, k = 64); fails the process if
+///   the batched path has regressed below the per-policy loop. (On a
+///   force-scalar or non-AVX2 run this times the scalar GEMM; on an
+///   AVX2 host it times the dispatched lane — the floor holds either
+///   way, so a dispatch regression to a slower path fails here too.)
+/// * **AVX2 lane** — `simd::gemv_block4_avx2` vs `gemv_block4_scalar`
+///   on the same policy-major matrix shape at k = 256 (wide dots, where
+///   the lane difference is signal rather than loop overhead): the
+///   intrinsics must beat the scalar unroll outright. Skipped (with a
+///   note) on hosts without AVX2+FMA, where both entry points run the
+///   identical scalar code.
 fn quick_guard() -> ! {
     use dispersal_bench::guard;
+    use dispersal_core::simd;
     let qs = qs();
     let (p, k) = (16usize, 64usize);
     let rows = policy_rows(p, k);
@@ -122,7 +134,45 @@ fn quick_guard() -> ! {
         batch.eval_fused_many_into(&mut scratch, black_box(&qs), &mut out).unwrap();
         black_box(out[GRID / 2]);
     });
-    guard::finish(guard::check_speedup("batch gemm_speedup p=16 k=64", loop_time, gemm_time))
+    let gemm_ok = guard::check_speedup("batch gemm_speedup p=16 k=64", loop_time, gemm_time);
+    let lane_ok = if simd::avx2_available() {
+        let (lp, lk) = (16usize, 256usize);
+        let lane_rows = policy_rows(lp, lk);
+        let padded = lp.div_ceil(simd::GEMV_BLOCK) * simd::GEMV_BLOCK;
+        let mut matrix = vec![0.0f64; padded * lk];
+        for (r, row) in lane_rows.iter().enumerate() {
+            matrix[r * lk..(r + 1) * lk].copy_from_slice(row);
+        }
+        let basis: Vec<f64> = (0..lk).map(|j| ((j as f64) + 0.5) / lk as f64).collect();
+        let mut lane_out = vec![0.0f64; lp];
+        let scalar_time = guard::time_per_call(2000, || {
+            simd::gemv_block4_scalar(
+                black_box(&matrix),
+                lk,
+                lp,
+                black_box(&basis),
+                1.0,
+                &mut lane_out,
+            );
+            black_box(lane_out[0]);
+        });
+        let avx2_time = guard::time_per_call(2000, || {
+            simd::gemv_block4_avx2(
+                black_box(&matrix),
+                lk,
+                lp,
+                black_box(&basis),
+                1.0,
+                &mut lane_out,
+            );
+            black_box(lane_out[0]);
+        });
+        guard::check_speedup("batch gbatch_gemm avx2-vs-scalar p=16 k=256", scalar_time, avx2_time)
+    } else {
+        println!("quick-guard batch: AVX2 lane floor skipped (host lacks avx2+fma)");
+        true
+    };
+    guard::finish(gemm_ok && lane_ok)
 }
 
 criterion_group!(benches, bench_batch);

@@ -1,6 +1,7 @@
 //! Benchmark: Monte-Carlo throughput (trials/sec) through the unified
 //! `sim::engine` at 1 vs N worker threads — the parallel-speedup
-//! trajectory recorded in `BENCH_engine.json` at the repo root.
+//! trajectory recorded in `BENCH_engine.json` at the repo root — plus
+//! the `pool_reuse` dispatch cost of the persistent work-stealing pool.
 //!
 //! The thread count is swept with `rayon::set_num_threads`, an atomic
 //! override specific to the vendored pool (registry rayon pins its global
@@ -8,6 +9,12 @@
 //! the sweep is not silently reduced to one pool size). On a single-core
 //! host the multi-thread rows measure pool overhead, not speedup; record
 //! the host core count next to any number you archive.
+//!
+//! `pool_reuse` measures the per-`execute()` dispatch cost of a small
+//! (64-item, trivial-work) batch at 4 workers. Before the persistent
+//! pool, every `execute()` spawned and joined its scoped workers, so this
+//! cost was bounded below by 4 × thread spawn/join; with the persistent
+//! deque pool it is a wake/steal/park cycle on already-running threads.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use dispersal_core::policy::Exclusive;
@@ -17,12 +24,30 @@ use dispersal_sim::montecarlo::{estimate_symmetric, McConfig};
 
 const TRIALS: u64 = 200_000;
 
+/// One small parallel dispatch: 64 near-trivial items, the regime where
+/// per-`execute()` fixed costs (historically: thread respawn) dominate.
+fn small_dispatch() -> f64 {
+    use rayon::prelude::*;
+    let out: Vec<f64> = (0..64u64).into_par_iter().map(|i| (i as f64 + 1.0).sqrt()).collect();
+    out[63]
+}
+
+/// The fixed cost the pre-persistent pool paid on every `execute()`:
+/// spawning and joining one scoped OS thread per worker.
+fn spawn_join_4_threads() {
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| black_box(0u64));
+        }
+    });
+}
+
 fn bench_engine_thread_sweep(c: &mut Criterion) {
     let f = ValueProfile::zipf(20, 1.0, 1.0).unwrap();
     let p = Strategy::proportional(f.values()).unwrap();
     let mut group = c.benchmark_group("engine_mc_200k_trials");
     group.sample_size(10);
-    for &threads in &[1usize, 2, 4] {
+    for &threads in &[1usize, 2, 4, 8] {
         rayon::set_num_threads(threads);
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
             b.iter(|| {
@@ -43,13 +68,29 @@ fn bench_engine_thread_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-/// CI guard mode (`-- --quick`): the 4-thread pool must stay within a
-/// coarse overhead bound of the 1-thread run on the same workload. CI
-/// runners may be single-core, so a parallel *speedup* cannot be
-/// required — but queue/lock pathology (a regression serializing workers
-/// behind contention) shows up as a blown overhead ratio on any host.
-/// The two runs must also agree bit-for-bit (the pool's determinism
-/// contract), checked before any timing verdict.
+fn bench_pool_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_pool_reuse");
+    rayon::set_num_threads(4);
+    group.bench_function("dispatch_64_items_4_threads", |b| b.iter(|| black_box(small_dispatch())));
+    rayon::set_num_threads(0);
+    group.bench_function("spawn_join_4_threads", |b| b.iter(spawn_join_4_threads));
+    group.finish();
+}
+
+/// CI guard mode (`-- --quick`), two floors:
+///
+/// 1. The 4-thread pool must stay within a coarse overhead bound of the
+///    1-thread run on the same workload. CI runners may be single-core,
+///    so a parallel *speedup* cannot be required — but queue/lock
+///    pathology (a regression serializing workers behind contention)
+///    shows up as a blown overhead ratio on any host. The two runs must
+///    also agree bit-for-bit (the pool's determinism contract), checked
+///    before any timing verdict.
+/// 2. `pool_reuse`: dispatching a small batch on the persistent pool must
+///    beat the old per-`execute()` price of spawning + joining 4 OS
+///    threads, measured live on the same host. A regression back to
+///    respawn-per-execute (or a wake path slower than spawning) fails
+///    the build host-independently.
 fn quick_guard() -> ! {
     use dispersal_bench::guard;
     let f = ValueProfile::zipf(20, 1.0, 1.0).unwrap();
@@ -66,7 +107,6 @@ fn quick_guard() -> ! {
     let pooled = guard::time_per_call(5, || {
         black_box(run());
     });
-    rayon::set_num_threads(0);
     if pooled_out.payoff.mean.to_bits() != reference.payoff.mean.to_bits() {
         eprintln!(
             "quick-guard engine: 4-thread mean {} != 1-thread mean {} (determinism break)",
@@ -74,10 +114,18 @@ fn quick_guard() -> ! {
         );
         std::process::exit(1);
     }
-    guard::finish(guard::check_overhead("engine pool_overhead 4-thread", single, pooled, 4.0))
+    let overhead_ok = guard::check_overhead("engine pool_overhead 4-thread", single, pooled, 4.0);
+    // pool_reuse floor: persistent dispatch vs live spawn/join cost.
+    let dispatch = guard::time_per_call(200, || {
+        black_box(small_dispatch());
+    });
+    rayon::set_num_threads(0);
+    let respawn = guard::time_per_call(200, spawn_join_4_threads);
+    let reuse_ok = guard::check_speedup("engine pool_reuse dispatch-vs-respawn", respawn, dispatch);
+    guard::finish(overhead_ok && reuse_ok)
 }
 
-criterion_group!(benches, bench_engine_thread_sweep);
+criterion_group!(benches, bench_engine_thread_sweep, bench_pool_reuse);
 
 fn main() {
     if dispersal_bench::guard::quick_mode() {

@@ -368,18 +368,7 @@ impl GTable {
         let (mode, b_mode) = seed_mode(&self.ln_binom, n, q);
         let ratio = q / (1.0 - q);
         let inv_ratio = (1.0 - q) / q;
-        let mut sum = b_mode * self.coeffs[mode];
-        let mut b = b_mode;
-        for j in mode..n {
-            b = b * self.up[j] * ratio;
-            sum += b * self.coeffs[j + 1];
-        }
-        b = b_mode;
-        for j in (0..mode).rev() {
-            b = b * self.down[j] * inv_ratio;
-            sum += b * self.coeffs[j];
-        }
-        sum
+        crate::simd::fused_dot(&self.coeffs, &self.up, &self.down, mode, b_mode, ratio, inv_ratio)
     }
 
     /// Batched [`Self::eval_fused`] into `out` (`out.len() == qs.len()`);
@@ -546,7 +535,8 @@ impl GTable {
 /// matrix is padded with zero rows to a multiple of this, so the inner
 /// product always runs a full block of independent accumulators (ILP
 /// instead of one serial add chain) and the row loop needs no scalar tail.
-const GEMM_BLOCK: usize = 4;
+/// Shared with [`crate::simd`] — one AVX2 register per block row.
+const GEMM_BLOCK: usize = crate::simd::GEMV_BLOCK;
 
 /// Structure-of-arrays evaluator for *many* congestion policies sharing
 /// one player count `k` — the policy-batched sibling of [`GTable`].
@@ -625,7 +615,9 @@ pub struct GBatch {
 
 /// Blocked GEMV over the padded policy-major matrix:
 /// `out[r] = factor · Σ_j basis[j] · matrix[r·cols + j]` for the `rows`
-/// real rows, running [`GEMM_BLOCK`] independent accumulator chains.
+/// real rows, running [`GEMM_BLOCK`] independent accumulator chains —
+/// dispatched through [`crate::simd::gemv_block4`] (AVX2 + FMA when the
+/// host has it, the original scalar unroll otherwise).
 fn gemv_blocked(
     matrix: &[f64],
     cols: usize,
@@ -635,27 +627,7 @@ fn gemv_blocked(
     out: &mut [f64],
 ) {
     debug_assert_eq!(basis.len(), cols);
-    let mut r = 0;
-    while r < rows {
-        let base = r * cols;
-        let block = &matrix[base..base + GEMM_BLOCK * cols];
-        let (r0, rest) = block.split_at(cols);
-        let (r1, rest) = rest.split_at(cols);
-        let (r2, r3) = rest.split_at(cols);
-        let mut acc = [0.0f64; GEMM_BLOCK];
-        for (j, &b) in basis.iter().enumerate() {
-            acc[0] += b * r0[j];
-            acc[1] += b * r1[j];
-            acc[2] += b * r2[j];
-            acc[3] += b * r3[j];
-        }
-        for (lane, &a) in acc.iter().enumerate() {
-            if r + lane < rows {
-                out[r + lane] = factor * a;
-            }
-        }
-        r += GEMM_BLOCK;
-    }
+    crate::simd::gemv_block4(matrix, cols, rows, basis, factor, out);
 }
 
 impl GBatch {
@@ -767,15 +739,9 @@ impl GBatch {
             (&self.ln_binom, &self.up, &self.down)
         };
         let (mode, b_mode) = seed_mode(ln_row, n, q);
-        basis[mode] = b_mode;
         let ratio = q / (1.0 - q);
         let inv_ratio = (1.0 - q) / q;
-        for j in mode..n {
-            basis[j + 1] = basis[j] * up[j] * ratio;
-        }
-        for j in (0..mode).rev() {
-            basis[j] = basis[j + 1] * down[j] * inv_ratio;
-        }
+        crate::simd::fused_fill(basis, up, down, mode, b_mode, ratio, inv_ratio);
     }
 
     /// Reference mode at one point: `out[r] = g_{C_r}(q)` for every row,

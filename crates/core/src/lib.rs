@@ -57,6 +57,7 @@ pub mod payoff;
 pub mod policy;
 pub mod pure;
 pub mod sigma_star;
+pub mod simd;
 pub mod simplex;
 pub mod spoa;
 pub mod strategy;

@@ -93,12 +93,11 @@ pub fn bernstein(n: usize, j: usize, q: f64) -> f64 {
 pub fn convolve_bernoulli(pmf: &mut [f64], count: usize, p: f64) {
     debug_assert!((0.0..=1.0).contains(&p), "bernoulli prob out of range: {p}");
     debug_assert!(pmf.len() >= count + 2, "pmf buffer too small for convolution step");
-    // Iterate downwards so each entry is updated from the previous round.
-    for j in (0..=count + 1).rev() {
-        let stay = if j <= count { pmf[j] * (1.0 - p) } else { 0.0 };
-        let step = if j > 0 { pmf[j - 1] * p } else { 0.0 };
-        pmf[j] = stay + step;
-    }
+    // Dispatched through `simd::convolve_step`; the AVX2 lane is
+    // bit-identical to the scalar downward recurrence (elementwise over
+    // the previous round's values, no FMA), so every bitwise contract
+    // on this primitive holds on either lane.
+    crate::simd::convolve_step(pmf, count, p);
 }
 
 /// Exact Poisson–binomial PMF: the distribution of `Σ_i X_i` where

@@ -5,9 +5,12 @@
 //! small pool (bounded-exhaustive up to 4 tasks, seeded samples beyond)
 //! and assert the repo's determinism contract holds under each one:
 //! order-preserving collect, no lost or duplicated task, worker-panic
-//! propagation with queue drain, and bit-identical `engine::Merge`
-//! results. A deliberately order-sensitive body shows the checker
-//! actually detects races rather than vacuously passing.
+//! propagation with deque drain, and bit-identical `engine::Merge`
+//! results. The simulated pool models the persistent work-stealing
+//! implementation: block-distributed per-worker deques, owners popping
+//! their own front, empty-handed workers stealing a victim's back. A
+//! deliberately order-sensitive body shows the checker actually detects
+//! races rather than vacuously passing.
 
 use dispersal_sim::engine::{run, Experiment, ShardPlan};
 use dispersal_sim::stats::Welford;
@@ -19,14 +22,18 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 #[test]
 fn exhaustive_counts_are_pinned() {
     // The enumeration is part of the checker's contract: a change in
-    // these counts means the pool's state machine (or the symmetry
-    // reduction) changed and every downstream guarantee needs re-review.
+    // these counts means the pool's state machine changed and every
+    // downstream guarantee needs re-review. These are the deque + steal
+    // counts (block-distributed deques, pop-own-front / steal-back) —
+    // larger than the old shared-queue model's because workers are
+    // distinguishable by the deque block they own, so no fresh-worker
+    // symmetry reduction applies.
     assert_eq!(exhaustive_schedules(1, 3).len(), 1);
-    assert_eq!(exhaustive_schedules(2, 2).len(), 4);
-    assert_eq!(exhaustive_schedules(2, 3).len(), 16);
-    assert_eq!(exhaustive_schedules(3, 3).len(), 31);
-    assert_eq!(exhaustive_schedules(3, 4).len(), 274);
-    assert_eq!(exhaustive_schedules(4, 4).len(), 379);
+    assert_eq!(exhaustive_schedules(2, 2).len(), 8);
+    assert_eq!(exhaustive_schedules(2, 3).len(), 32);
+    assert_eq!(exhaustive_schedules(3, 3).len(), 183);
+    assert_eq!(exhaustive_schedules(3, 4).len(), 1641);
+    assert_eq!(exhaustive_schedules(4, 4).len(), 8320);
 }
 
 #[test]
@@ -110,10 +117,11 @@ impl Experiment for UniformMean {
 
 #[test]
 fn engine_merge_is_bit_identical_under_every_schedule() {
-    // 4 shards on a 3-worker pool: all 274 interleavings must merge to
-    // the exact same bits (shard streams are schedule-independent and
-    // the collect is order-preserving, so the shard-order fold sees the
-    // same operands in the same order every time).
+    // 4 shards on a 3-worker pool: all 1641 interleavings (including
+    // every steal pattern) must merge to the exact same bits (shard
+    // streams are schedule-independent and the collect is
+    // order-preserving, so the shard-order fold sees the same operands
+    // in the same order every time).
     let schedules = exhaustive_schedules(3, 4);
     let bits = check_determinism(&schedules, || {
         let w = run(&UniformMean, ShardPlan::new(40, 4, 7)).expect("engine run");
@@ -127,6 +135,28 @@ fn engine_merge_is_bit_identical_under_every_schedule() {
     rayon::set_num_threads(0);
     assert_eq!(bits.1, seq.mean().to_bits());
     assert_eq!(bits.2, seq.variance().to_bits());
+}
+
+#[test]
+fn forced_steal_preserves_order_and_exactly_once() {
+    // 2 workers, 2 tasks: the block distribution seeds deque 0 = [task 0]
+    // and deque 1 = [task 1]. A schedule that only ever picks worker 1
+    // forces it to drain its own deque and then *steal* worker 0's task;
+    // the contract (order-preserving collect, exactly-once execution)
+    // must survive the steal.
+    let schedule = rayon::check::Schedule { workers: 2, choices: vec![1, 1, 1, 1] };
+    let executed = AtomicUsize::new(0);
+    let out: Vec<usize> = with_schedule(&schedule, || {
+        (0..2usize)
+            .into_par_iter()
+            .map(|i| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                i
+            })
+            .collect()
+    });
+    assert_eq!(out, vec![0, 1]);
+    assert_eq!(executed.load(Ordering::SeqCst), 2);
 }
 
 #[test]

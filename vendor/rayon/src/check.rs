@@ -1,15 +1,24 @@
 //! Loom-lite deterministic schedule exploration for the vendored pool.
 //!
-//! The production pool in [`crate`] runs workers on real OS threads that
-//! pull `(index, item)` pairs from a shared Mutex-guarded queue. Which
-//! worker wins each pull is decided by the OS scheduler, so a plain test
-//! run only ever observes *one* interleaving per execution. This module
-//! replaces that nondeterminism with a **controlled scheduler**: under
+//! The production pool in [`crate`] runs persistent workers on real OS
+//! threads, each owning a deque seeded with a contiguous block of task
+//! indices; owners pop their own front and steal from the back of other
+//! workers' deques when theirs runs dry. Which worker wins each pop or
+//! steal is decided by the OS scheduler, so a plain test run only ever
+//! observes *one* interleaving per execution. This module replaces that
+//! nondeterminism with a **controlled scheduler**: under
 //! [`with_schedule`], `execute` does not spawn threads at all — it
-//! simulates the pool's exact state machine (pull → run → pull …,
-//! per-task panic isolation, first-worker-in-join-order panic
+//! simulates the pool's exact state machine (pop-own-or-steal → run →
+//! …, per-task panic isolation, smallest-worker-index panic
 //! propagation) on the calling thread, with every scheduling decision
 //! taken from an explicit [`Schedule`].
+//!
+//! One canonicalization: the real pool picks steal victims by a
+//! randomized rotation, which is performance-only — by the determinism
+//! contract, *which worker* computes a task is unobservable. The
+//! simulator uses a fixed cyclic rotation (thief + 1, wrapping, first
+//! nonempty deque) so schedules stay replayable, and explores every
+//! *interleaving* of that canonical rule instead.
 //!
 //! Driving the same body through *every* schedule (bounded-exhaustive
 //! via [`exhaustive_schedules`] for small task counts, seeded samples
@@ -23,9 +32,9 @@
 //!
 //! The simulation also asserts the pool's structural invariants on every
 //! schedule: no task is lost, no task runs twice, and a worker panic
-//! kills only that worker (the rest drain the queue) with the original
-//! payload re-raised at join — the same behavior the threaded
-//! implementation exhibits.
+//! kills only that worker (the rest drain its abandoned deque via
+//! steals) with the original payload re-raised after the drain — the
+//! same behavior the threaded implementation exhibits.
 //!
 //! Scope: the simulation runs on one thread, so it checks *schedule*
 //! sensitivity (logical races through shared state such as `Cell`s),
@@ -38,8 +47,9 @@ use std::panic::{self, AssertUnwindSafe};
 /// One controlled interleaving of the pool.
 ///
 /// `choices` is consumed left to right, one entry per scheduling point
-/// (a point where at least one worker can pull a queued item or run the
-/// item it holds). An entry naming a runnable worker selects it; any
+/// (a point where at least one worker can take a task — from its own
+/// deque or by stealing — or run the task it holds). An entry naming a
+/// runnable worker selects it; any
 /// other value selects `runnable[entry % runnable.len()]`, so *every*
 /// `usize` sequence is a valid schedule (seeded random schedules need no
 /// legality pre-pass). When `choices` runs out, the lowest-indexed
@@ -113,41 +123,60 @@ fn next_choice(runnable: &[usize]) -> usize {
 }
 
 enum Worker<T> {
-    /// Never acted; interchangeable with every other fresh worker.
+    /// Never acted.
     Fresh,
-    /// Between tasks: next productive action is a pull.
+    /// Between tasks: next productive action is a pop or a steal.
     Idle,
     /// Holding `(slot, item)`: next productive action runs it.
     Holding(usize, T),
-    /// Observed the empty queue and exited its loop.
+    /// Observed every deque empty and exited its loop.
     Finished,
-    /// Died running a task; its panic payload is re-raised at join.
+    /// Died running a task; its panic payload is re-raised at the end.
+    /// Its abandoned deque stays stealable, exactly as in the real pool.
     Dead,
+}
+
+/// Pop the front of `slot`'s own deque, or steal from the back of the
+/// first nonempty victim in cyclic order from `slot + 1` — the
+/// simulator's canonical form of the pool's randomized victim rotation.
+fn pop_or_steal<T>(deques: &mut [std::collections::VecDeque<T>], slot: usize) -> Option<T> {
+    if let Some(task) = deques[slot].pop_front() {
+        return Some(task);
+    }
+    let workers = deques.len();
+    (1..workers).find_map(|i| deques[(slot + i) % workers].pop_back())
 }
 
 /// Simulate one pool execution under the active schedule (pool hook).
 ///
-/// Mirrors the threaded `execute` exactly: workers pull one `(index,
-/// item)` pair at a time, results land in slot `index`, a task panic
-/// kills its worker while the rest keep draining, and after the
-/// simulated join the payload of the panicked worker with the smallest
-/// index is re-raised — the same payload the scope's in-order `join`
-/// loop would resume with.
+/// Mirrors the threaded pool exactly: `(index, item)` pairs are
+/// block-distributed into per-worker deques ([`crate::pool::block_range`],
+/// the same split the real pool seeds), workers pop their own front or
+/// steal a victim's back one task at a time, results land in slot
+/// `index`, a task panic kills its worker while the rest keep draining
+/// (including the dead worker's abandoned deque), and after the drain
+/// the payload of the panicked worker with the smallest index is
+/// re-raised — the same payload the threaded pool propagates.
 pub(crate) fn run_active<T, O, F: Fn(T) -> O>(items: Vec<T>, f: F) -> Vec<O> {
     let workers =
         ACTIVE.with(|a| a.borrow().as_ref().map(|p| p.workers)).expect("schedule checker active");
     let n = items.len();
-    let mut queue = items.into_iter().enumerate();
-    let mut queue_len = n;
+    let mut deques: Vec<std::collections::VecDeque<(usize, T)>> = {
+        let mut pairs = items.into_iter().enumerate();
+        (0..workers)
+            .map(|w| pairs.by_ref().take(crate::pool::block_range(n, workers, w).len()).collect())
+            .collect()
+    };
+    let mut remaining = n;
     let mut slots: Vec<Option<O>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let mut pool: Vec<Worker<T>> = (0..workers).map(|_| Worker::Fresh).collect();
     let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
     loop {
-        // Workers facing an empty queue with empty hands can only observe
-        // it and exit; that commutes with everything observable, so it is
-        // not a scheduling point.
-        if queue_len == 0 {
+        // Workers facing all-empty deques with empty hands can only
+        // observe that and exit; that commutes with everything
+        // observable, so it is not a scheduling point.
+        if remaining == 0 {
             for w in pool.iter_mut() {
                 if matches!(w, Worker::Fresh | Worker::Idle) {
                     *w = Worker::Finished;
@@ -159,7 +188,7 @@ pub(crate) fn run_active<T, O, F: Fn(T) -> O>(items: Vec<T>, f: F) -> Vec<O> {
             .enumerate()
             .filter(|(_, w)| {
                 matches!(w, Worker::Holding(..))
-                    || (queue_len > 0 && matches!(w, Worker::Fresh | Worker::Idle))
+                    || (remaining > 0 && matches!(w, Worker::Fresh | Worker::Idle))
             })
             .map(|(i, _)| i)
             .collect();
@@ -184,8 +213,9 @@ pub(crate) fn run_active<T, O, F: Fn(T) -> O>(items: Vec<T>, f: F) -> Vec<O> {
                 }
             }
             Worker::Fresh | Worker::Idle => {
-                let (slot, item) = queue.next().expect("runnable pull implies nonempty queue");
-                queue_len -= 1;
+                let (slot, item) = pop_or_steal(&mut deques, chosen)
+                    .expect("runnable pull implies some nonempty deque");
+                remaining -= 1;
                 pool[chosen] = Worker::Holding(slot, item);
             }
             Worker::Finished | Worker::Dead => {
@@ -206,15 +236,17 @@ pub(crate) fn run_active<T, O, F: Fn(T) -> O>(items: Vec<T>, f: F) -> Vec<O> {
 }
 
 /// Every distinct interleaving of `tasks` items on a `workers`-worker
-/// pool, up to worker symmetry.
+/// pool.
 ///
-/// The enumeration walks the same state machine the playback executes
-/// (pull/run steps, empty-queue exits pruned as non-observable) by DFS,
-/// recording the worker chosen at each scheduling point. Workers that
-/// have not acted yet are interchangeable, so only the lowest-indexed
-/// fresh worker is ever branched on — the classic symmetry reduction;
-/// schedules differing only by a renaming of untouched workers collapse
-/// to one.
+/// The enumeration walks the same deque state machine the playback
+/// executes (pop-own-front / steal-victim-back / run steps, all-empty
+/// exits pruned as non-observable) by DFS over per-worker deque lengths,
+/// recording the worker chosen at each scheduling point. Unlike the
+/// shared-queue predecessor, no fresh-worker symmetry reduction applies:
+/// workers are distinguishable from the start by the deque block they
+/// own, so schedules that differ only in *which* empty-handed worker
+/// acts first can reach genuinely different steal patterns and must all
+/// be enumerated.
 ///
 /// Bounded-exhaustive by design: intended for `tasks ≤ 4` (typically a
 /// few dozen to a few thousand schedules); use [`seeded_schedules`] for
@@ -223,58 +255,65 @@ pub fn exhaustive_schedules(workers: usize, tasks: usize) -> Vec<Schedule> {
     assert!(workers >= 1, "need at least one worker");
     #[derive(Clone, Copy, PartialEq)]
     enum S {
-        Fresh,
-        Idle,
+        Ready,
         Holding,
         Finished,
     }
     fn dfs(
         workers: usize,
-        queue: usize,
+        deques: Vec<usize>,
+        remaining: usize,
         mut pool: Vec<S>,
         trace: &mut Vec<usize>,
         out: &mut Vec<Schedule>,
     ) {
-        if queue == 0 {
+        if remaining == 0 {
             for s in pool.iter_mut() {
-                if matches!(s, S::Fresh | S::Idle) {
+                if *s == S::Ready {
                     *s = S::Finished;
                 }
             }
         }
-        let mut options = Vec::new();
-        let mut fresh_seen = false;
-        for (i, s) in pool.iter().enumerate() {
-            match s {
-                S::Holding => options.push(i),
-                S::Fresh if queue > 0 && !fresh_seen => {
-                    options.push(i);
-                    fresh_seen = true;
-                }
-                S::Idle if queue > 0 => options.push(i),
-                _ => {}
-            }
-        }
+        let options: Vec<usize> = pool
+            .iter()
+            .enumerate()
+            .filter(|&(_, s)| *s == S::Holding || (*s == S::Ready && remaining > 0))
+            .map(|(i, _)| i)
+            .collect();
         if options.is_empty() {
             out.push(Schedule { workers, choices: trace.clone() });
             return;
         }
         for w in options {
             let mut next_pool = pool.clone();
-            let mut next_queue = queue;
+            let mut next_deques = deques.clone();
+            let mut next_remaining = remaining;
             if next_pool[w] == S::Holding {
-                next_pool[w] = S::Idle;
+                next_pool[w] = S::Ready;
             } else {
+                // Mirror `pop_or_steal`: own deque first, else the first
+                // nonempty victim in cyclic order from w + 1.
+                let source = if next_deques[w] > 0 {
+                    w
+                } else {
+                    (1..workers)
+                        .map(|i| (w + i) % workers)
+                        .find(|&v| next_deques[v] > 0)
+                        .expect("remaining > 0 implies a nonempty deque")
+                };
+                next_deques[source] -= 1;
+                next_remaining -= 1;
                 next_pool[w] = S::Holding;
-                next_queue -= 1;
             }
             trace.push(w);
-            dfs(workers, next_queue, next_pool, trace, out);
+            dfs(workers, next_deques, next_remaining, next_pool, trace, out);
             trace.pop();
         }
     }
+    let deques: Vec<usize> =
+        (0..workers).map(|w| crate::pool::block_range(tasks, workers, w).len()).collect();
     let mut out = Vec::new();
-    dfs(workers, tasks, vec![S::Fresh; workers], &mut Vec::new(), &mut out);
+    dfs(workers, deques, tasks, vec![S::Ready; workers], &mut Vec::new(), &mut out);
     out
 }
 

@@ -7,10 +7,13 @@
 //!
 //! * A pipeline (`into_par_iter`/`par_iter` + `map`/`enumerate`/`zip`) is
 //!   materialized lazily and executed at `collect`/`for_each` time on a
-//!   pool of [`std::thread::scope`]d workers.
-//! * Workers pull items dynamically from a shared queue (one item per
-//!   pull), so uneven per-item cost is load-balanced the same way rayon's
-//!   work-stealing deques balance it.
+//!   **persistent** pool of worker threads (spawned once, parked on a
+//!   condvar between calls — see [`mod@pool`]), not respawned per call.
+//! * Each worker owns a Chase–Lev-style deque seeded with a contiguous
+//!   block of item indices; owners pop their own front, and a worker
+//!   whose deque runs dry steals from the back of a randomly-rotated
+//!   victim, so uneven per-item cost is load-balanced the same way
+//!   rayon's work-stealing deques balance it.
 //! * The worker count honors `RAYON_NUM_THREADS` (falling back to
 //!   [`std::thread::available_parallelism`]); `RAYON_NUM_THREADS=1` runs
 //!   inline on the caller with zero thread overhead.
@@ -23,12 +26,11 @@
 //! Swapping the real rayon back in later is a one-line manifest change —
 //! the `prelude` exposes the same names, so no call sites need to change.
 
-use std::panic;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 #[cfg(feature = "check")]
 pub mod check;
+mod pool;
 
 /// In-process worker-count override; 0 means "no override". Takes
 /// precedence over `RAYON_NUM_THREADS`.
@@ -91,47 +93,14 @@ where
     }
     let n = items.len();
     let threads = current_num_threads().min(n);
-    if threads <= 1 {
+    // Nested pipelines (a task body calling back into the pool) run
+    // inline on the worker: jobs are serialized on one registry, so
+    // re-entering it from a participant would deadlock, and the outer
+    // pipeline already owns all the workers anyway.
+    if threads <= 1 || pool::in_worker() {
         return items.into_iter().map(f).collect();
     }
-    // Shared dynamic queue: workers pull `(index, item)` pairs one at a
-    // time, so a slow item never serializes the rest of the batch behind
-    // a static chunk boundary.
-    let queue = Mutex::new(items.into_iter().enumerate());
-    let mut slots: Vec<Option<O>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut done: Vec<(usize, O)> = Vec::new();
-                    loop {
-                        // The guard is dropped before `f` runs, so workers
-                        // only contend on the pull, never on the work.
-                        let next = queue.lock().unwrap_or_else(|poison| poison.into_inner()).next();
-                        match next {
-                            Some((i, item)) => done.push((i, f(item))),
-                            None => break,
-                        }
-                    }
-                    done
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(done) => {
-                    for (i, out) in done {
-                        slots[i] = Some(out);
-                    }
-                }
-                // Propagate the first worker panic with its original
-                // payload (matching rayon's behavior).
-                Err(payload) => panic::resume_unwind(payload),
-            }
-        }
-    });
-    slots.into_iter().map(|slot| slot.expect("every index was executed exactly once")).collect()
+    pool::run_batch(items, threads, f)
 }
 
 /// A parallel pipeline: seed items plus a composed per-item transform,
@@ -293,6 +262,41 @@ mod tests {
                 .collect();
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_executions() {
+        crate::set_num_threads(4);
+        let worker_ids = || {
+            let seen = Mutex::new(HashSet::new());
+            (0..32u32).into_par_iter().for_each(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                seen.lock().unwrap().insert(std::thread::current().id());
+            });
+            seen.into_inner().unwrap()
+        };
+        let first = worker_ids();
+        let second = worker_ids();
+        // The persistent pool parks and re-wakes the same OS threads; a
+        // regression back to respawn-per-execute yields disjoint ID sets.
+        assert!(
+            first.intersection(&second).next().is_some(),
+            "no worker thread survived between executions: {first:?} vs {second:?}"
+        );
+    }
+
+    #[test]
+    fn nested_pipelines_run_inline_without_deadlock() {
+        crate::set_num_threads(4);
+        let out: Vec<u64> = (0..8u64)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<u64> = (0..4u64).into_par_iter().map(|j| i * 10 + j).collect();
+                inner.iter().sum()
+            })
+            .collect();
+        let expect: Vec<u64> = (0..8u64).map(|i| (0..4u64).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! The persistent work-stealing pool behind [`crate`]'s `execute`.
+//!
+//! Replaces the original shim's per-call `std::thread::scope` + one
+//! `Mutex<iterator>` shared queue with the two structural fixes named in
+//! ROADMAP item 3(b):
+//!
+//! * **Persistent workers.** OS threads are spawned once (lazily, up to
+//!   the largest worker count any execution has requested) and parked on
+//!   a condvar between jobs. A small dispatch costs a wake/park cycle,
+//!   not `threads ×` spawn/join — the `engine_pool_reuse` bench tracks
+//!   the difference.
+//! * **Per-worker deques + randomized stealing.** Each participating
+//!   worker owns a Chase–Lev-style deque seeded with a contiguous block
+//!   of task indices ([`block_range`]); the owner pops from the front of
+//!   its own deque, and a worker whose deque is empty steals from the
+//!   *back* of a victim chosen by a randomized rotation (xorshift,
+//!   performance-only randomness). Workers only contend on a lock when
+//!   they actually steal, instead of every pull serializing on one
+//!   global mutex.
+//!
+//! The deques are `Mutex<VecDeque<usize>>` rather than lock-free CAS
+//! rings: the owner's pop is an uncontended lock (a single atomic
+//! exchange on the fast path), steals are rare by construction, and the
+//! resulting pool is trivially ThreadSanitizer-clean — which matters
+//! here, because the nightly TSan tier and the `rayon::check` simulator
+//! are the regression net for the repo's bit-identical determinism
+//! contract.
+//!
+//! ## Determinism
+//!
+//! Nothing in this module can affect results: task `i`'s output always
+//! lands in slot `i`, and every seeded workload derives its RNG stream
+//! from the task index (`ShardPlan`), never from the executing thread or
+//! the steal order. The randomized victim rotation only changes *which
+//! worker* computes a task, which is unobservable by contract.
+//!
+//! ## Nested executions
+//!
+//! A task body that itself calls into the pool (a nested
+//! `into_par_iter().collect()`) runs that inner pipeline inline on the
+//! worker. Jobs are serialized on one registry, so handing a nested job
+//! to the pool from inside a worker would deadlock; inline execution is
+//! deterministic, panic-transparent, and matches the contract (the
+//! outer pipeline already owns all the workers).
+//!
+//! ## Safety
+//!
+//! This is the one module in the workspace that needs `unsafe`: a job
+//! borrows the caller's stack (items, output slots, the user closure),
+//! and the pointer handed to the persistent workers must erase that
+//! lifetime. The invariants making it sound:
+//!
+//! * `run_job` does not return until every participating worker has
+//!   checked in as finished (the `active` count under the registry
+//!   lock), so the erased `JobData` pointer never outlives the frame it
+//!   points into.
+//! * A task index is dispensed exactly once (each index is pushed to
+//!   exactly one deque, and deque pops/steals happen under that deque's
+//!   mutex), so the `UnsafeCell` item/slot accesses in `run_batch` are
+//!   exclusive per index.
+//! * All cross-thread hand-offs (job install, task dispensation, slot
+//!   writes before the final check-in) are ordered by mutex
+//!   acquire/release edges — there is no unsynchronized access for TSan
+//!   to find.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Contiguous block of task indices initially owned by `worker` when `n`
+/// tasks are split across `workers` deques: near-equal blocks, the
+/// remainder going to the lowest-indexed workers (the same remainder
+/// rule as `ShardPlan::shard_trials`). Shared with the `check` simulator
+/// so the loom-lite tier explores exactly the distribution the real pool
+/// uses.
+pub(crate) fn block_range(n: usize, workers: usize, worker: usize) -> Range<usize> {
+    let base = n / workers;
+    let rem = n % workers;
+    let start = worker * base + worker.min(rem);
+    let len = base + usize::from(worker < rem);
+    start..start + len
+}
+
+/// One in-flight `execute` call, type-erased for the persistent workers.
+struct JobData<'scope> {
+    /// Per-worker deques of task indices. Owner pops the front; thieves
+    /// steal the back.
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Worker panics as `(worker_slot, payload)`; after the job, the
+    /// payload with the smallest slot is re-raised (the same panic the
+    /// old scoped pool's in-order join loop propagated).
+    panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>>,
+    /// Runs one task index (takes the item, applies the user closure,
+    /// stores the output slot).
+    run: &'scope (dyn Fn(usize) + Sync),
+}
+
+/// Lifetime-erased pointer to the active job. Soundness: see the module
+/// docs — `run_job` outlives every worker's use of the pointer.
+#[derive(Clone, Copy)]
+struct JobPtr(*const JobData<'static>);
+
+// SAFETY: the pointee is only dereferenced while the owning `run_job`
+// frame is blocked waiting for the job's `active` count to reach zero,
+// and `JobData`'s interior is `Sync` (mutex-guarded deques/panics, a
+// `Sync` closure).
+unsafe impl Send for JobPtr {}
+unsafe impl Sync for JobPtr {}
+
+/// Registry state guarded by [`Registry::shared`].
+struct Shared {
+    /// Monotone job counter; each installed job carries its own value so
+    /// a late-waking worker can never double-join an old job.
+    seq: u64,
+    /// The currently installed job, if any.
+    job: Option<ActiveJob>,
+    /// Worker threads spawned so far (worker `w` exists for `w <
+    /// spawned`).
+    spawned: usize,
+}
+
+struct ActiveJob {
+    seq: u64,
+    /// Participating workers (slots `0..workers`).
+    workers: usize,
+    /// Participants that have not yet checked in as finished.
+    active: usize,
+    job: JobPtr,
+}
+
+/// The process-wide persistent pool.
+struct Registry {
+    /// Serializes jobs: one `execute` owns the worker fleet at a time.
+    /// Held across the whole job (install → completion), so `shared.job`
+    /// transitions are simple and a second caller just queues here.
+    job_lock: Mutex<()>,
+    shared: Mutex<Shared>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// The caller parks here until the last participant checks in.
+    done_cv: Condvar,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        job_lock: Mutex::new(()),
+        shared: Mutex::new(Shared { seq: 0, job: None, spawned: 0 }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    })
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+thread_local! {
+    /// Set while a pool worker runs job tasks; nested `execute` calls on
+    /// this thread run inline instead of re-entering the registry.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is a pool worker mid-job (nested pipelines
+/// must run inline).
+pub(crate) fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// Body of one persistent worker thread: park until a fresh job names
+/// this slot as a participant, drain it, check in, repeat forever. The
+/// threads are detached (never joined); at process exit they are parked
+/// in `work_cv` with no job to touch.
+fn worker_main(slot: usize) {
+    let registry = registry();
+    let mut last_seq = 0u64;
+    loop {
+        let (seq, job) = {
+            let mut shared = lock(&registry.shared);
+            loop {
+                if let Some(active) = &shared.job {
+                    if active.seq > last_seq && slot < active.workers {
+                        break (active.seq, active.job);
+                    }
+                }
+                shared = registry
+                    .work_cv
+                    .wait(shared)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+        };
+        last_seq = seq;
+        // SAFETY: the installing `run_job` frame blocks until this worker
+        // checks in below, so the pointee is alive for the whole drain.
+        let job_ref = unsafe { &*job.0 };
+        IN_WORKER.with(|w| w.set(true));
+        drain(job_ref, slot, seq);
+        IN_WORKER.with(|w| w.set(false));
+        let mut shared = lock(&registry.shared);
+        if let Some(active) = &mut shared.job {
+            if active.seq == seq {
+                active.active -= 1;
+                if active.active == 0 {
+                    shared.job = None;
+                    registry.done_cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// Drain tasks for one job from worker `slot`: pop the own deque's
+/// front; when it is empty, steal from the back of a victim picked by a
+/// randomized rotation. Exits when every deque is empty, or immediately
+/// after a task panic (the dead worker's remaining deque entries are
+/// stolen by the survivors — the same drain behavior the scoped pool
+/// had when a worker thread died).
+fn drain(job: &JobData<'_>, slot: usize, seq: u64) {
+    let workers = job.deques.len();
+    // xorshift64* state for the steal rotation — performance-only
+    // randomness (the victim choice cannot affect any result).
+    let mut rng: u64 = (slot as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seq | 1;
+    loop {
+        let task = lock(&job.deques[slot]).pop_front().or_else(|| {
+            let mut next = || {
+                rng ^= rng >> 12;
+                rng ^= rng << 25;
+                rng ^= rng >> 27;
+                rng.wrapping_mul(0x2545_f491_4f6c_dd1d)
+            };
+            let offset = next() as usize;
+            (0..workers).find_map(|i| {
+                let victim = (offset + i) % workers;
+                if victim == slot {
+                    return None;
+                }
+                lock(&job.deques[victim]).pop_back()
+            })
+        });
+        let Some(task) = task else { return };
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| (job.run)(task))) {
+            lock(&job.panics).push((slot, payload));
+            return;
+        }
+    }
+}
+
+/// Install `job` on the registry, wake `workers` participants, and block
+/// until every one of them has checked in.
+fn run_job(job: &JobData<'_>, workers: usize) {
+    let registry = registry();
+    let _fleet = lock(&registry.job_lock);
+    let mut shared = lock(&registry.shared);
+    while shared.spawned < workers {
+        let slot = shared.spawned;
+        // Worker threads are detached: they hold no job state between
+        // jobs and park forever once the process stops dispatching.
+        let spawned = std::thread::Builder::new()
+            .name(format!("dispersal-pool-{slot}"))
+            .spawn(move || worker_main(slot));
+        match spawned {
+            Ok(_) => shared.spawned += 1,
+            Err(_) => break, // run with the workers we have
+        }
+    }
+    let workers = workers.min(shared.spawned.max(1));
+    shared.seq += 1;
+    let seq = shared.seq;
+    // SAFETY of the lifetime erasure: this frame does not return until
+    // `active` reaches zero (loop below), which each worker only signals
+    // after its last use of the pointer.
+    let erased =
+        JobPtr(job as *const JobData<'_> as *const JobData<'static>);
+    shared.job = Some(ActiveJob { seq, workers, active: workers, job: erased });
+    registry.work_cv.notify_all();
+    while shared.job.as_ref().is_some_and(|active| active.seq == seq) {
+        shared = registry.done_cv.wait(shared).unwrap_or_else(|poison| poison.into_inner());
+    }
+}
+
+/// Slice of `UnsafeCell`s shared with the workers. Exclusivity per index
+/// is guaranteed by exactly-once task dispensation (see module docs).
+struct CellSlice<'a, T>(&'a [UnsafeCell<Option<T>>]);
+
+impl<T> CellSlice<'_, T> {
+    /// Raw pointer to cell `i`'s contents. Method (not field) access so
+    /// closures capture the whole `Sync` wrapper, not the bare slice.
+    fn cell(&self, i: usize) -> *mut Option<T> {
+        self.0[i].get()
+    }
+}
+
+// SAFETY: each cell is accessed by exactly one task execution, and the
+// caller only reads the cells after every worker has checked in (mutex
+// edges order the accesses).
+unsafe impl<T: Send> Sync for CellSlice<'_, T> {}
+
+/// Execute `f` over `items` on the persistent pool with `workers` (≥ 2)
+/// participants, returning results in item order. Panics in task bodies
+/// propagate with the original payload after the pool has drained.
+pub(crate) fn run_batch<T, O, F>(items: Vec<T>, workers: usize, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let n = items.len();
+    let items: Vec<UnsafeCell<Option<T>>> =
+        items.into_iter().map(|item| UnsafeCell::new(Some(item))).collect();
+    let mut slots: Vec<UnsafeCell<Option<O>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || UnsafeCell::new(None));
+    let items_ref = CellSlice(&items);
+    let slots_ref = CellSlice(&slots);
+    let run = |task: usize| {
+        // SAFETY: `task` is dispensed to exactly one worker, once.
+        let item = unsafe { (*items_ref.cell(task)).take() };
+        let item = item.expect("pool invariant violated: task dispensed twice");
+        let out = f(item);
+        // SAFETY: same exclusive index; the caller reads only after the
+        // job's final check-in.
+        unsafe { *slots_ref.cell(task) = Some(out) };
+    };
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|w| Mutex::new(block_range(n, workers, w).collect())).collect();
+    let job = JobData { deques, panics: Mutex::new(Vec::new()), run: &run };
+    run_job(&job, workers);
+    let panics = job.panics.into_inner().unwrap_or_else(|poison| poison.into_inner());
+    if let Some((_, payload)) = panics.into_iter().min_by_key(|&(slot, _)| slot) {
+        panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every task index was executed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_partition_every_size() {
+        for n in 0..40usize {
+            for workers in 1..8usize {
+                let mut covered = Vec::new();
+                for w in 0..workers {
+                    let range = block_range(n, workers, w);
+                    covered.extend(range.clone());
+                    // Near-equal: no block exceeds ceil(n / workers).
+                    assert!(range.len() <= n.div_ceil(workers), "n={n} w={w}/{workers}");
+                }
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} workers={workers}");
+            }
+        }
+    }
+}
