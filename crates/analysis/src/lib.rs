@@ -37,8 +37,9 @@
 //!   (`guard::quick_mode`) and a CI invocation of it, so no recorded
 //!   trajectory can regress unguarded. Trajectories with named per-lane
 //!   floors ([`REQUIRED_GUARD_LABELS`]: the engine pool-reuse floor, the
-//!   batch AVX2-vs-scalar floor) must keep those labels in their guard —
-//!   deleting a floor is a lint failure, not a silent coverage loss.
+//!   batch AVX2-vs-scalar floor, the serve admission-batching floor)
+//!   must keep those labels in their guard — deleting a floor is a lint
+//!   failure, not a silent coverage loss.
 //!
 //! The scanner strips comments, strings, and character literals first
 //! (so doc-prose `panic!` or a `"HashMap"` string literal never fire) and
@@ -652,9 +653,10 @@ pub struct BenchGuardInput {
 /// gemm-vs-loop floor keeps the guard "present"); pinning the guard
 /// labels here makes that a lint failure. Labels are the exact strings
 /// passed to `guard::check_speedup` / `guard::check_overhead`.
-pub const REQUIRED_GUARD_LABELS: [(&str, &[&str]); 2] = [
+pub const REQUIRED_GUARD_LABELS: [(&str, &[&str]); 3] = [
     ("batch", &["batch gemm_speedup", "batch gbatch_gemm avx2-vs-scalar"]),
     ("engine", &["engine pool_overhead", "engine pool_reuse dispatch-vs-respawn"]),
+    ("serve", &["serve admission-batch-vs-sequential"]),
 ];
 
 /// Check that every recorded bench trajectory has a quick guard wired
@@ -859,13 +861,14 @@ const UNWRAP_ROOTS: [&str; 3] = ["crates/core/src", "crates/sim/src", "crates/me
 
 /// Directories scanned for hash-iteration (everything that produces
 /// output, including the bench bins and this crate).
-const ITERATION_ROOTS: [&str; 7] = [
+const ITERATION_ROOTS: [&str; 8] = [
     "src",
     "crates/core/src",
     "crates/sim/src",
     "crates/search/src",
     "crates/mech/src",
     "crates/bench/src",
+    "crates/serve/src",
     "crates/analysis/src",
 ];
 

@@ -1,0 +1,79 @@
+//! Benchmark: the daemon's admission batching — N concurrent response
+//! requests sharing `(k, resolution, tol)` evaluated as **one**
+//! policy-major `GBatch` tile — vs answering the same N requests
+//! sequentially, each as its own single-row tile (what a daemon without
+//! an admission window, or N one-shot CLI invocations minus process
+//! startup, would do). The serving trajectory lives in
+//! `BENCH_serve.json` at the repo root.
+//!
+//! Both variants produce bit-identical curves (`GBatch::eval_many_with`
+//! is bit-identical per row regardless of batch composition), so the
+//! difference is pure mechanism: the coalesced tile builds the shared
+//! Bernstein basis column once per grid point for the whole group, while
+//! the sequential path rebuilds it per request.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use dispersal_core::policy::{Congestion, PowerLaw};
+use dispersal_serve::batch::{eval_exact_tile, group_qs};
+
+const K: usize = 64;
+const RESOLUTION: usize = 256;
+
+/// A burst of `count` distinct response requests sharing one `(k, tol)`
+/// shape: a power-law mechanism family with `β` swept per request.
+fn burst_policies(count: usize) -> Vec<PowerLaw> {
+    (0..count).map(|i| PowerLaw { beta: 0.25 + i as f64 * 0.125 }).collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let qs = group_qs(RESOLUTION);
+    let mut group = c.benchmark_group("serve_admission");
+    group.sample_size(10);
+    for &n in &[4usize, 16, 64] {
+        let burst = burst_policies(n);
+        let refs: Vec<&dyn Congestion> = burst.iter().map(|p| p as &dyn Congestion).collect();
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| {
+                for policy in &refs {
+                    black_box(eval_exact_tile(&[*policy], K, black_box(&qs)).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+            b.iter(|| black_box(eval_exact_tile(&refs, K, black_box(&qs)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// CI guard mode (`-- --quick`): one floor at the acceptance cell — a
+/// 16-request burst answered as one coalesced tile must beat the same
+/// burst answered request-by-request. A regression here means the
+/// admission window buys nothing and the daemon has lost its reason to
+/// exist.
+fn quick_guard() -> ! {
+    use dispersal_bench::guard;
+    let qs = group_qs(RESOLUTION);
+    let burst = burst_policies(16);
+    let refs: Vec<&dyn Congestion> = burst.iter().map(|p| p as &dyn Congestion).collect();
+    let sequential_time = guard::time_per_call(10, || {
+        for policy in &refs {
+            black_box(eval_exact_tile(&[*policy], K, black_box(&qs)).unwrap());
+        }
+    });
+    let batched_time = guard::time_per_call(10, || {
+        black_box(eval_exact_tile(&refs, K, black_box(&qs)).unwrap());
+    });
+    let ok =
+        guard::check_speedup("serve admission-batch-vs-sequential", sequential_time, batched_time);
+    guard::finish(ok)
+}
+
+criterion_group!(benches, bench_serve);
+
+fn main() {
+    if dispersal_bench::guard::quick_mode() {
+        quick_guard();
+    }
+    benches();
+}

@@ -9,6 +9,7 @@
 //! dispersal ess        --profile <spec> -k <n> [--mutants <n>]
 //! dispersal evaluate   --profile <spec> -k <n>          # whole catalog
 //! dispersal responses  -k <n>           # catalog g-curves, one GBatch row each
+//! dispersal serve      [--addr <host:port|unix:path>] [--batch-window <ms>]
 //! ```
 //!
 //! Policy specs: `exclusive | sharing | constant | two-level:<c> |
@@ -21,13 +22,17 @@ use dispersal_bench::runner::parse_flags;
 use dispersal_core::prelude::*;
 use dispersal_mech::catalog::{parse_policy, parse_profile, standard_catalog};
 use dispersal_mech::evaluator::{catalog_response_matrix, evaluate_catalog};
+use dispersal_serve::server::ServerConfig;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: dispersal <solve|sigma-star|optimal|spoa|ess|evaluate|responses> \
+const USAGE: &str =
+    "usage: dispersal <solve|sigma-star|optimal|spoa|ess|evaluate|responses|serve> \
                      [--policy <spec>] [--profile <spec>] -k <n> [--mutants <n>] [--seed <n>]\n\
+                     serve flags: [--addr <host:port|unix:path>] [--batch-window <ms>] \
+                     [--max-batch <n>]\n\
                      run `dispersal help` for spec syntax";
 
 /// Flag table for the shared parser in `dispersal_bench::runner`.
@@ -38,6 +43,9 @@ const FLAG_SPEC: &[(&str, &str)] = &[
     ("--players", "k"),
     ("--mutants", "mutants"),
     ("--seed", "seed"),
+    ("--addr", "addr"),
+    ("--batch-window", "batch-window"),
+    ("--max-batch", "max-batch"),
 ];
 
 fn get_k(flags: &BTreeMap<String, String>) -> Result<usize> {
@@ -177,8 +185,17 @@ fn run() -> Result<()> {
         "responses" => {
             // The whole catalog evaluated as one policy-major GBatch: every
             // mechanism is one row against a shared Bernstein basis column.
+            // With --policy, just that one curve — the one-shot equivalent
+            // of a single daemon response request (the serve loadgen's
+            // baseline).
             let k = get_k(&flags)?;
-            let catalog = standard_catalog();
+            let catalog = match flags.get("policy") {
+                None => standard_catalog(),
+                Some(spec) => vec![dispersal_mech::catalog::NamedPolicy {
+                    name: spec.clone(),
+                    policy: parse_policy(spec)?,
+                }],
+            };
             let resolution = 256;
             let response = catalog_response_matrix(&catalog, k, resolution)?;
             println!(
@@ -196,6 +213,31 @@ fn run() -> Result<()> {
                     response.tolerance_score[r]
                 );
             }
+        }
+        "serve" => {
+            // Grow the one-shot CLI into a long-lived daemon: warm caches,
+            // a persistent pool, and cross-request admission batching.
+            // Runs until a client sends {"cmd":"shutdown"}.
+            let addr = flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:4891".to_string());
+            let window_ms = flags
+                .get("batch-window")
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| Error::InvalidArgument(format!("bad --batch-window: {e}")))?
+                .unwrap_or(2);
+            let max_batch = flags
+                .get("max-batch")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| Error::InvalidArgument(format!("bad --max-batch: {e}")))?
+                .unwrap_or(256);
+            let server = dispersal_serve::server::Server::bind(ServerConfig {
+                addr,
+                batch_window: std::time::Duration::from_millis(window_ms),
+                max_batch,
+            })?;
+            println!("listening on {}", server.addr());
+            server.join();
         }
         other => {
             return Err(Error::InvalidArgument(format!("unknown command '{other}'\n{USAGE}")));

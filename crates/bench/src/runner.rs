@@ -16,6 +16,7 @@
 //! * `--jobs N`    — worker-thread count (sets `RAYON_NUM_THREADS`);
 //! * `--out-dir D` — results directory (sets `DISPERSAL_RESULTS_DIR`).
 
+use dispersal_core::kernel::cache::CacheStats;
 use dispersal_core::{Error, Result};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -72,6 +73,9 @@ pub struct RunContext {
     seed: Option<u64>,
     jobs: Option<usize>,
     outputs: Vec<String>,
+    /// Labelled cache snapshots recorded by the run, echoed into the
+    /// manifest (insertion order, so bytes stay deterministic).
+    caches: Vec<(String, CacheStats)>,
     /// The raw parsed flags, echoed into the manifest for provenance.
     /// `BTreeMap` iteration is sorted, so the manifest bytes are
     /// deterministic for a given command line.
@@ -102,6 +106,13 @@ impl RunContext {
         self.outputs.push(file.to_string());
         Ok(path)
     }
+
+    /// Record a labelled [`CacheStats`] snapshot (e.g. a daemon's grid
+    /// cache at shutdown) in the run manifest's `"caches"` object, so
+    /// hit-rates ship with the results they explain.
+    pub fn record_cache_stats(&mut self, label: &str, stats: CacheStats) {
+        self.caches.push((label.to_string(), stats));
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -128,15 +139,32 @@ fn manifest_json(ctx: &RunContext, wall: Duration) -> String {
         .iter()
         .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
         .collect();
+    let caches: Vec<String> = ctx
+        .caches
+        .iter()
+        .map(|(label, s)| {
+            format!(
+                "\"{}\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \
+                 \"capacity\": {}}}",
+                json_escape(label),
+                s.hits,
+                s.misses,
+                s.evictions,
+                s.entries,
+                s.capacity
+            )
+        })
+        .collect();
     format!(
         "{{\n  \"experiment\": \"{}\",\n  \"trials\": {},\n  \"seed\": {},\n  \"jobs\": {},\n  \
-         \"wall_ms\": {},\n  \"flags\": {{{}}},\n  \"outputs\": [{}]\n}}\n",
+         \"wall_ms\": {},\n  \"flags\": {{{}}},\n  \"caches\": {{{}}},\n  \"outputs\": [{}]\n}}\n",
         json_escape(ctx.name),
         opt(ctx.trials),
         opt(ctx.seed),
         ctx.jobs.map_or_else(|| ctx.effective_jobs().to_string(), |j| j.to_string()),
         wall.as_millis(),
         flags.join(", "),
+        caches.join(", "),
         outputs.join(", ")
     )
 }
@@ -188,6 +216,7 @@ fn drive(
         seed: parse_value(&flags, "seed")?,
         jobs,
         outputs: Vec::new(),
+        caches: Vec::new(),
         flags,
     };
     let started = Instant::now();
@@ -231,6 +260,7 @@ mod tests {
             seed: None,
             jobs: None,
             outputs: Vec::new(),
+            caches: Vec::new(),
             flags: BTreeMap::new(),
         };
         assert_eq!(ctx.trials_or(100), 5);
@@ -242,14 +272,19 @@ mod tests {
         let spec = &[("--trials", "trials"), ("--seed", "seed"), ("--jobs", "jobs")];
         let flags =
             parse_flags(&argv(&["--trials", "10", "--seed", "7", "--jobs", "3"]), spec).unwrap();
-        let ctx = RunContext {
+        let mut ctx = RunContext {
             name: "exp_x",
             trials: Some(10),
             seed: None,
             jobs: Some(3),
             outputs: vec!["a.csv".into(), "b.csv".into()],
+            caches: Vec::new(),
             flags,
         };
+        ctx.record_cache_stats(
+            "grid",
+            CacheStats { hits: 9, misses: 3, evictions: 1, entries: 2, capacity: 256 },
+        );
         let json = manifest_json(&ctx, Duration::from_millis(1234));
         assert!(json.contains("\"experiment\": \"exp_x\""));
         assert!(json.contains("\"trials\": 10"));
@@ -257,6 +292,13 @@ mod tests {
         assert!(json.contains("\"jobs\": 3"));
         assert!(json.contains("\"wall_ms\": 1234"));
         assert!(json.contains("\"a.csv\", \"b.csv\""));
+        assert!(
+            json.contains(
+                "\"caches\": {\"grid\": {\"hits\": 9, \"misses\": 3, \"evictions\": 1, \
+                 \"entries\": 2, \"capacity\": 256}}"
+            ),
+            "{json}"
+        );
         // Flags are echoed in sorted key order regardless of the order
         // they appeared on the command line.
         assert!(

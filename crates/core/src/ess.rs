@@ -103,12 +103,12 @@ impl<'a> LedgerEvaluator<'a> {
         if f.len() != sigma.len() {
             return Err(Error::DimensionMismatch { strategy: sigma.len(), profile: f.len() });
         }
-        let mut cache = PbCache::new();
+        let cache = PbCache::new();
         let mut profile = vec![0.0; k - 1];
         let mut base = Vec::with_capacity(f.len());
         for x in 0..f.len() {
             profile.fill(sigma.prob(x));
-            base.push(cache.table(&profile)?.clone());
+            base.push(cache.table(&profile)?.as_ref().clone());
         }
         Ok(Self { ctx, f, sigma, base })
     }

@@ -76,10 +76,13 @@
 //!   dots the PMF against a coefficient table with the same Kahan
 //!   accumulation as the scalar reference.
 
+pub mod cache;
+
 use crate::error::{Error, Result};
 use crate::numerics::{convolve_bernoulli, kahan_sum};
 use crate::policy::Congestion;
-use std::collections::HashMap;
+use cache::{CacheStats, SharedCache};
+use std::sync::Arc;
 
 /// Caller-owned scratch buffer for allocation-free kernel evaluation.
 ///
@@ -1095,65 +1098,85 @@ impl PbTable {
 /// differ from an unsorted one-shot DP by the usual commutation round-off
 /// (`O(n·ε)`, ≈ 3e-14 at `n = 128`) — far inside the 1e-13 agreement
 /// contract tested in CI, but not bit-identical for unsorted profiles.
-#[derive(Debug, Clone, Default)]
+///
+/// Rebased on [`cache::SharedCache`]: lookups take `&self`, return
+/// `Arc<PbTable>`, are safe to share across engine worker threads, and
+/// the cache is size-bounded ([`PB_CACHE_CAPACITY`] profile classes by
+/// default) with deterministic LRU eviction. Eviction only changes
+/// *allocation* — a rebuilt class reproduces the identical PMF bits.
+#[derive(Debug)]
 pub struct PbCache {
-    map: HashMap<Vec<u64>, PbTable>,
-    key_buf: Vec<u64>,
-    sorted: Vec<f64>,
-    builds: usize,
-    hits: usize,
+    inner: SharedCache<Vec<u64>, PbTable>,
+}
+
+/// Default resident bound for [`PbCache`]: distinct profile classes kept
+/// warm before least-recently-used classes are evicted. An ESS ledger at
+/// `k = 256` touches well under a hundred classes; 1024 keeps every
+/// workload in this workspace eviction-free while bounding a daemon's
+/// footprint.
+pub const PB_CACHE_CAPACITY: usize = 1024;
+
+impl Default for PbCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PbCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity bound.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(PB_CACHE_CAPACITY)
     }
 
-    /// The table for `probs`' equivalence class, building it on first use.
-    /// The returned reference stays valid until the next cache call.
-    pub fn table(&mut self, probs: &[f64]) -> Result<&PbTable> {
-        self.sorted.clear();
-        self.sorted.extend_from_slice(probs);
-        self.sorted.sort_unstable_by(f64::total_cmp);
-        self.key_buf.clear();
-        for &p in &self.sorted {
-            self.key_buf.push(normalize_prob(p)?.to_bits());
-        }
-        if !self.map.contains_key(&self.key_buf) {
-            let table = PbTable::from_probs(&self.sorted)?;
-            self.map.insert(self.key_buf.clone(), table);
-            self.builds += 1;
-        } else {
-            self.hits += 1;
-        }
-        self.map
-            .get(&self.key_buf)
-            .ok_or(Error::Internal { what: "PbCache entry missing right after insert" })
+    /// An empty cache holding at most `classes` profile classes
+    /// (`0` = unbounded).
+    pub fn with_capacity(classes: usize) -> Self {
+        PbCache { inner: SharedCache::new(classes) }
     }
 
-    /// Number of distinct profile classes built so far.
+    /// The table for `probs`' equivalence class, building it on first
+    /// use. The entry-style [`SharedCache::get_or_try_insert_with`] path
+    /// builds under the shard lock, so the old insert-then-lookup
+    /// "entry missing right after insert" failure mode does not exist:
+    /// the only error source is an invalid probability.
+    pub fn table(&self, probs: &[f64]) -> Result<Arc<PbTable>> {
+        let mut sorted = probs.to_vec();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let mut key = Vec::with_capacity(sorted.len());
+        for &p in &sorted {
+            key.push(normalize_prob(p)?.to_bits());
+        }
+        self.inner.get_or_try_insert_with(key, || PbTable::from_probs(&sorted))
+    }
+
+    /// Number of distinct profile classes built so far (cache misses,
+    /// including rebuilds after eviction).
     #[inline]
     pub fn builds(&self) -> usize {
-        self.builds
+        self.inner.stats().misses as usize
     }
 
     /// Number of lookups served from an existing table.
     #[inline]
     pub fn hits(&self) -> usize {
-        self.hits
+        self.inner.stats().hits as usize
     }
 
     /// Number of cached tables.
     #[inline]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.inner.len()
     }
 
     /// Whether the cache is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.inner.is_empty()
+    }
+
+    /// Uniform hit/miss/eviction snapshot ([`CacheStats`]).
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
     }
 }
 
@@ -1630,7 +1653,7 @@ mod tests {
 
     #[test]
     fn pb_cache_shares_profile_classes() {
-        let mut cache = PbCache::new();
+        let cache = PbCache::new();
         let a = cache.table(&[0.2, 0.8]).unwrap().pmf().to_vec();
         // Permutations share one table (sorted-multiset key).
         let b = cache.table(&[0.8, 0.2]).unwrap().pmf().to_vec();
@@ -1668,8 +1691,8 @@ mod tests {
         // (never iterated), and each class's DP runs over its *sorted*
         // representative regardless of when it entered the cache.
         let profiles: [&[f64]; 4] = [&[0.2, 0.8], &[0.5, 0.5, 0.5], &[0.9], &[0.1, 0.2, 0.3, 0.4]];
-        let mut forward = PbCache::new();
-        let mut reverse = PbCache::new();
+        let forward = PbCache::new();
+        let reverse = PbCache::new();
         let fwd: Vec<Vec<f64>> =
             profiles.iter().map(|p| forward.table(p).unwrap().pmf().to_vec()).collect();
         for p in profiles.iter().rev() {
@@ -1677,8 +1700,8 @@ mod tests {
         }
         assert_eq!(forward.builds(), reverse.builds());
         for (p, expect) in profiles.iter().zip(&fwd) {
-            let got = reverse.table(p).unwrap().pmf();
-            for (a, b) in expect.iter().zip(got) {
+            let got = reverse.table(p).unwrap();
+            for (a, b) in expect.iter().zip(got.pmf()) {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }

@@ -250,7 +250,7 @@ impl PayoffContext {
         rho: &Strategy,
         opponents: &[&Strategy],
     ) -> Result<f64> {
-        self.heterogeneous_payoff_with(f, rho, opponents, &mut PbCache::new())
+        self.heterogeneous_payoff_with(f, rho, opponents, &PbCache::new())
     }
 
     /// [`Self::heterogeneous_payoff`] with a caller-owned Poisson–binomial
@@ -265,7 +265,7 @@ impl PayoffContext {
         f: &ValueProfile,
         rho: &Strategy,
         opponents: &[&Strategy],
-        cache: &mut PbCache,
+        cache: &PbCache,
     ) -> Result<f64> {
         if opponents.len() != self.k - 1 {
             return Err(Error::InvalidArgument(format!(
@@ -621,13 +621,13 @@ mod tests {
         let pi = Strategy::uniform(5).unwrap();
         let rho = Strategy::delta(5, 0).unwrap();
         let ctx = PayoffContext::new(&Sharing, 4).unwrap();
-        let mut cache = crate::kernel::PbCache::new();
+        let cache = crate::kernel::PbCache::new();
         let opponents = [&sigma, &sigma, &pi];
-        let a = ctx.heterogeneous_payoff_with(&f, &rho, &opponents, &mut cache).unwrap();
+        let a = ctx.heterogeneous_payoff_with(&f, &rho, &opponents, &cache).unwrap();
         let builds_first = cache.builds();
         assert!(builds_first > 0);
         // Second call with the same profiles: all tables come from the cache.
-        let b = ctx.heterogeneous_payoff_with(&f, &rho, &opponents, &mut cache).unwrap();
+        let b = ctx.heterogeneous_payoff_with(&f, &rho, &opponents, &cache).unwrap();
         assert_eq!(cache.builds(), builds_first, "no new DP builds on a repeat call");
         assert!(cache.hits() > 0);
         assert_eq!(a.to_bits(), b.to_bits());

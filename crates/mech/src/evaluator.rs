@@ -7,15 +7,17 @@ use crate::catalog::NamedPolicy;
 use dispersal_core::coverage::coverage;
 use dispersal_core::ess::probe_ess_k;
 use dispersal_core::ifd::solve_ifd_allow_degenerate;
+use dispersal_core::kernel::cache::{CacheStats, SharedCache};
 use dispersal_core::kernel::GBatch;
 use dispersal_core::optimal::optimal_coverage;
 use dispersal_core::payoff::PayoffContext;
-use dispersal_core::policy::Congestion;
+use dispersal_core::policy::{validate_congestion, Congestion};
 use dispersal_core::value::ValueProfile;
 use dispersal_core::welfare::welfare_optimum;
 use dispersal_core::{Error, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A complete evaluation of one congestion policy on one instance.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -134,14 +136,48 @@ pub fn catalog_response_matrix(
     k: usize,
     resolution: usize,
 ) -> Result<CatalogResponse> {
+    check_catalog_request(catalog, resolution)?;
+    let refs: Vec<&dyn Congestion> = catalog.iter().map(|n| n.policy.as_ref()).collect();
+    let batch = GBatch::new(&refs, k)?;
+    finish_catalog_response(catalog, k, resolution, &batch)
+}
+
+/// [`catalog_response_matrix`] through a warm [`ResponseCache`]: the
+/// policy-major coefficient tile is pulled from (or built into) `cache`,
+/// so repeated scans of the same catalog at the same `k` — resolution
+/// scans, repeated daemon requests, per-instance report loops — pay the
+/// per-row validation and tile construction once. Bit-identical to the
+/// uncached entry point: the cache key is the full coefficient
+/// fingerprint, and scoring runs the same fused grid path.
+pub fn catalog_response_matrix_cached(
+    catalog: &[NamedPolicy],
+    k: usize,
+    resolution: usize,
+    cache: &ResponseCache,
+) -> Result<CatalogResponse> {
+    check_catalog_request(catalog, resolution)?;
+    let batch = cache.batch(catalog, k)?;
+    finish_catalog_response(catalog, k, resolution, &batch)
+}
+
+/// Shared argument validation for the catalog-response entry points.
+fn check_catalog_request(catalog: &[NamedPolicy], resolution: usize) -> Result<()> {
     if catalog.is_empty() {
         return Err(Error::InvalidArgument("catalog response needs at least one mechanism".into()));
     }
     if resolution == 0 {
         return Err(Error::InvalidArgument("catalog response resolution must be >= 1".into()));
     }
-    let refs: Vec<&dyn Congestion> = catalog.iter().map(|n| n.policy.as_ref()).collect();
-    let batch = GBatch::new(&refs, k)?;
+    Ok(())
+}
+
+/// Grid evaluation + trapezoid scoring over an already-built tile.
+fn finish_catalog_response(
+    catalog: &[NamedPolicy],
+    k: usize,
+    resolution: usize,
+    batch: &GBatch,
+) -> Result<CatalogResponse> {
     let qs: Vec<f64> = (0..=resolution).map(|i| i as f64 / resolution as f64).collect();
     let g = batch.eval_grid(&qs);
     let h = 1.0 / resolution as f64;
@@ -159,6 +195,94 @@ pub fn catalog_response_matrix(
         g,
         tolerance_score,
     })
+}
+
+/// Memoized policy-major [`GBatch`] tiles for catalog scoring, keyed by
+/// the full coefficient fingerprint of the catalog at a given `k` — two
+/// catalogs whose mechanisms produce the same coefficient rows in the
+/// same order share one tile, whatever their names.
+///
+/// Built on [`SharedCache`], so one `ResponseCache` serves concurrent
+/// scans (the serve daemon holds one across all requests): lookups take
+/// `&self`, the tile is `Arc`-shared, concurrent scans of the same
+/// catalog build it once, and the cache is size-bounded
+/// ([`RESPONSE_CACHE_CAPACITY`] tiles) with deterministic LRU eviction.
+#[derive(Debug)]
+pub struct ResponseCache {
+    inner: SharedCache<(Vec<u64>, usize), GBatch>,
+}
+
+/// Default resident bound for [`ResponseCache`]: distinct `(catalog, k)`
+/// tiles kept warm. Catalog scans sweep a handful of player counts over
+/// one catalog; 64 tiles is an order of magnitude of headroom while
+/// keeping a daemon's footprint bounded.
+pub const RESPONSE_CACHE_CAPACITY: usize = 64;
+
+impl Default for ResponseCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResponseCache {
+    /// An empty cache with the default capacity bound.
+    pub fn new() -> Self {
+        Self::with_capacity(RESPONSE_CACHE_CAPACITY)
+    }
+
+    /// An empty cache holding at most `tiles` entries (`0` = unbounded).
+    pub fn with_capacity(tiles: usize) -> Self {
+        ResponseCache { inner: SharedCache::new(tiles) }
+    }
+
+    /// The policy-major tile for `(catalog, k)`, built on first use.
+    /// Validation (congestion axioms per mechanism) runs on every call —
+    /// it is what produces the key — but the tile construction itself is
+    /// paid once per residency.
+    pub fn batch(&self, catalog: &[NamedPolicy], k: usize) -> Result<Arc<GBatch>> {
+        if catalog.is_empty() {
+            return Err(Error::InvalidArgument(
+                "catalog response needs at least one mechanism".into(),
+            ));
+        }
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(catalog.len());
+        let mut key = Vec::with_capacity(catalog.len() * k);
+        for named in catalog {
+            let coeffs = validate_congestion(named.policy.as_ref(), k)?;
+            key.extend(coeffs.iter().map(|v| v.to_bits()));
+            rows.push(coeffs);
+        }
+        self.inner.get_or_try_insert_with((key, k), || GBatch::from_rows(rows))
+    }
+
+    /// Number of tiles built so far (cache misses).
+    #[inline]
+    pub fn builds(&self) -> usize {
+        self.inner.stats().misses as usize
+    }
+
+    /// Number of lookups served from an existing tile.
+    #[inline]
+    pub fn hits(&self) -> usize {
+        self.inner.stats().hits as usize
+    }
+
+    /// Number of cached tiles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the cache is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Uniform hit/miss/eviction snapshot ([`CacheStats`]).
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +358,38 @@ mod tests {
         assert!(catalog_response_matrix(&[], 6, 32).is_err());
         assert!(catalog_response_matrix(&catalog, 6, 0).is_err());
         assert!(catalog_response_matrix(&catalog, 0, 32).is_err());
+    }
+
+    #[test]
+    fn cached_catalog_response_is_bit_identical_and_warm() {
+        let catalog = crate::catalog::standard_catalog();
+        let cache = ResponseCache::new();
+        let direct = catalog_response_matrix(&catalog, 8, 64).unwrap();
+        let cached = catalog_response_matrix_cached(&catalog, 8, 64, &cache).unwrap();
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 0);
+        for (a, b) in direct.g.iter().zip(cached.g.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "cached tile changed response bits");
+        }
+        for (a, b) in direct.tolerance_score.iter().zip(cached.tolerance_score.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Repeat scans — any resolution — reuse the warm tile; a new k
+        // builds a second one.
+        let again = catalog_response_matrix_cached(&catalog, 8, 256, &cache).unwrap();
+        assert_eq!(cache.builds(), 1, "repeat scan must hit the warm tile");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(again.qs.len(), 257);
+        catalog_response_matrix_cached(&catalog, 12, 64, &cache).unwrap();
+        assert_eq!(cache.builds(), 2);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+        // Degenerate inputs stay typed errors through the cached path.
+        assert!(catalog_response_matrix_cached(&[], 8, 64, &cache).is_err());
+        assert!(catalog_response_matrix_cached(&catalog, 8, 0, &cache).is_err());
+        assert!(catalog_response_matrix_cached(&catalog, 0, 64, &cache).is_err());
+        let line = format!("{}", cache.stats());
+        assert!(line.contains("hits 1"), "{line}");
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Line-JSON wire protocol for the dispersal daemon.
+//!
+//! One request per line, one reply per line, over any byte stream (TCP
+//! or Unix socket). Requests are JSON objects with two required fields —
+//! `"id"` (echoed verbatim on the reply, so clients can pipeline) and
+//! `"cmd"` — plus per-command parameters:
+//!
+//! ```text
+//! {"id":1,"cmd":"response","policy":"sharing","k":64}            exact curve
+//! {"id":2,"cmd":"response","policy":"power:2.0","k":64,
+//!         "resolution":256,"tol":1e-9}                           interpolated
+//! {"id":3,"cmd":"equilibrium","policy":"sharing",
+//!         "profile":"zipf:20:1.0","k":8}                         IFD solve
+//! {"id":4,"cmd":"ess","profile":"zipf:20:1.0","k":8,
+//!         "mutants":50,"seed":42}                                ESS probe
+//! {"id":5,"cmd":"catalog","k":8,"resolution":256}                catalog scan
+//! {"id":6,"cmd":"stats"}                                         metrics
+//! {"id":7,"cmd":"shutdown"}                                      stop daemon
+//! ```
+//!
+//! Replies are `{"id":N,"ok":true,"result":{…}}` on success and
+//! `{"id":N,"ok":false,"error":"…"}` on failure (per request — a bad
+//! request never takes down a batch, a connection, or the daemon).
+//! Policy and profile specs are the `dispersal` CLI spec strings
+//! (`dispersal_mech::catalog::parse_policy` / `parse_profile`).
+//!
+//! All floats round-trip bit-exactly through the vendored codec, which
+//! is what lets the round-trip integration test compare daemon replies
+//! against direct library calls with `to_bits` equality.
+
+use serde::Value;
+
+/// Default evaluation-grid resolution when a request omits
+/// `"resolution"` (matches the `dispersal responses` CLI).
+pub const DEFAULT_RESOLUTION: usize = 256;
+
+/// Default mutant count for `"ess"` requests.
+pub const DEFAULT_MUTANTS: usize = 50;
+
+/// Default RNG seed for `"ess"` requests (matches the CLI).
+pub const DEFAULT_SEED: u64 = 42;
+
+/// A parsed request body (everything except the echoed `id`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// One congestion-response curve. With `tol` the daemon serves it
+    /// from the shared interpolation-grid cache (`O(1)` per point,
+    /// ≤ `tol × scale` from exact); without, the exact reference path
+    /// (bit-identical to `sweep::response_grid`).
+    Response {
+        /// Policy spec string (e.g. `"sharing"`, `"two-level:-0.25"`).
+        policy: String,
+        /// Player count.
+        k: usize,
+        /// Grid resolution (the curve has `resolution + 1` points).
+        resolution: usize,
+        /// Interpolation tolerance; `None` selects the exact path.
+        tol: Option<f64>,
+    },
+    /// IFD equilibrium of a policy on a profile.
+    Equilibrium {
+        /// Policy spec string.
+        policy: String,
+        /// Profile spec string (e.g. `"zipf:20:1.0"`).
+        profile: String,
+        /// Player count.
+        k: usize,
+    },
+    /// ESS probe of `sigma*` under the exclusive policy (the CLI's
+    /// `dispersal ess` semantics).
+    Ess {
+        /// Profile spec string.
+        profile: String,
+        /// Player count.
+        k: usize,
+        /// Number of random mutants to probe.
+        mutants: usize,
+        /// RNG seed for the mutant stream.
+        seed: u64,
+    },
+    /// Score the standard mechanism catalog (warm `ResponseCache` tile).
+    Catalog {
+        /// Player count.
+        k: usize,
+        /// Grid resolution.
+        resolution: usize,
+    },
+    /// Metrics snapshot: request/batch counters plus cache stats.
+    Stats,
+    /// Graceful stop; the daemon replies, then prints its summary.
+    Shutdown,
+}
+
+/// Read a `u64` out of a JSON number value.
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(u) => Some(*u),
+        Value::Int(i) if *i >= 0 => Some(*i as u64),
+        _ => None,
+    }
+}
+
+/// Read an `f64` out of a JSON number value.
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+fn field<'v>(entries: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+    entries.iter().find(|(key, _)| key == name).map(|(_, value)| value)
+}
+
+fn require_str(entries: &[(String, Value)], name: &str) -> Result<String, String> {
+    field(entries, name)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field \"{name}\""))
+}
+
+fn require_usize(entries: &[(String, Value)], name: &str) -> Result<usize, String> {
+    field(entries, name)
+        .and_then(as_u64)
+        .map(|u| u as usize)
+        .ok_or_else(|| format!("missing or non-integer field \"{name}\""))
+}
+
+fn optional_usize(
+    entries: &[(String, Value)],
+    name: &str,
+    default: usize,
+) -> Result<usize, String> {
+    match field(entries, name) {
+        None => Ok(default),
+        Some(v) => {
+            as_u64(v).map(|u| u as usize).ok_or_else(|| format!("non-integer field \"{name}\""))
+        }
+    }
+}
+
+/// Parse one request line. Returns the request `id` (0 when the line is
+/// malformed beyond recovery) plus either the parsed body or the error
+/// message the reply should carry — so a bad line still yields an
+/// addressed error reply instead of a dropped connection.
+pub fn parse_line(line: &str) -> (u64, Result<Request, String>) {
+    let value: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => return (0, Err(format!("bad JSON: {e}"))),
+    };
+    let Some(entries) = value.as_object() else {
+        return (0, Err("request must be a JSON object".into()));
+    };
+    let id = field(entries, "id").and_then(as_u64).unwrap_or(0);
+    let cmd = match require_str(entries, "cmd") {
+        Ok(c) => c,
+        Err(e) => return (id, Err(e)),
+    };
+    let body = match cmd.as_str() {
+        "response" => (|| {
+            Ok(Request::Response {
+                policy: require_str(entries, "policy")?,
+                k: require_usize(entries, "k")?,
+                resolution: optional_usize(entries, "resolution", DEFAULT_RESOLUTION)?,
+                tol: match field(entries, "tol") {
+                    None => None,
+                    Some(v) => Some(as_f64(v).ok_or("non-number field \"tol\"".to_string())?),
+                },
+            })
+        })(),
+        "equilibrium" => (|| {
+            Ok(Request::Equilibrium {
+                policy: require_str(entries, "policy")?,
+                profile: require_str(entries, "profile")?,
+                k: require_usize(entries, "k")?,
+            })
+        })(),
+        "ess" => (|| {
+            Ok(Request::Ess {
+                profile: require_str(entries, "profile")?,
+                k: require_usize(entries, "k")?,
+                mutants: optional_usize(entries, "mutants", DEFAULT_MUTANTS)?,
+                seed: field(entries, "seed")
+                    .map(|v| as_u64(v).ok_or("non-integer field \"seed\"".to_string()))
+                    .transpose()?
+                    .unwrap_or(DEFAULT_SEED),
+            })
+        })(),
+        "catalog" => (|| {
+            Ok(Request::Catalog {
+                k: require_usize(entries, "k")?,
+                resolution: optional_usize(entries, "resolution", DEFAULT_RESOLUTION)?,
+            })
+        })(),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown cmd \"{other}\"")),
+    };
+    (id, body)
+}
+
+/// Build an object `Value` from field pairs (order-preserving).
+pub fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(name, value)| (name.to_string(), value)).collect())
+}
+
+/// A float array as a JSON value.
+pub fn float_array(values: &[f64]) -> Value {
+    Value::Array(values.iter().map(|&v| Value::Float(v)).collect())
+}
+
+/// Render the success reply line for `id` (no trailing newline).
+pub fn ok_reply(id: u64, result: Value) -> String {
+    render(object(vec![("id", Value::UInt(id)), ("ok", Value::Bool(true)), ("result", result)]))
+}
+
+/// Render the error reply line for `id` (no trailing newline).
+pub fn err_reply(id: u64, message: &str) -> String {
+    render(object(vec![
+        ("id", Value::UInt(id)),
+        ("ok", Value::Bool(false)),
+        ("error", Value::Str(message.to_string())),
+    ]))
+}
+
+fn render(value: Value) -> String {
+    // The only way the codec can fail is a non-finite float; surface it
+    // as an addressed error line rather than a protocol violation.
+    serde_json::to_string(&value).unwrap_or_else(|e| {
+        format!("{{\"id\":0,\"ok\":false,\"error\":\"unencodable reply: {e}\"}}")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        let (id, req) = parse_line(r#"{"id":1,"cmd":"response","policy":"sharing","k":64}"#);
+        assert_eq!(id, 1);
+        assert_eq!(
+            req.unwrap(),
+            Request::Response {
+                policy: "sharing".into(),
+                k: 64,
+                resolution: DEFAULT_RESOLUTION,
+                tol: None
+            }
+        );
+        let (_, req) = parse_line(
+            r#"{"id":2,"cmd":"response","policy":"power:2.0","k":8,"resolution":32,"tol":1e-9}"#,
+        );
+        assert_eq!(
+            req.unwrap(),
+            Request::Response { policy: "power:2.0".into(), k: 8, resolution: 32, tol: Some(1e-9) }
+        );
+        let (_, req) = parse_line(
+            r#"{"id":3,"cmd":"equilibrium","policy":"sharing","profile":"zipf:5:1.0","k":4}"#,
+        );
+        assert_eq!(
+            req.unwrap(),
+            Request::Equilibrium { policy: "sharing".into(), profile: "zipf:5:1.0".into(), k: 4 }
+        );
+        let (_, req) = parse_line(r#"{"id":4,"cmd":"ess","profile":"zipf:5:1.0","k":4}"#);
+        assert_eq!(
+            req.unwrap(),
+            Request::Ess {
+                profile: "zipf:5:1.0".into(),
+                k: 4,
+                mutants: DEFAULT_MUTANTS,
+                seed: DEFAULT_SEED
+            }
+        );
+        let (_, req) = parse_line(r#"{"id":5,"cmd":"catalog","k":6}"#);
+        assert_eq!(req.unwrap(), Request::Catalog { k: 6, resolution: DEFAULT_RESOLUTION });
+        assert_eq!(parse_line(r#"{"id":6,"cmd":"stats"}"#).1.unwrap(), Request::Stats);
+        assert_eq!(parse_line(r#"{"id":7,"cmd":"shutdown"}"#).1.unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn malformed_lines_keep_their_id_when_possible() {
+        let (id, req) = parse_line(r#"{"id":9,"cmd":"warp"}"#);
+        assert_eq!(id, 9);
+        assert!(req.unwrap_err().contains("unknown cmd"));
+        let (id, req) = parse_line(r#"{"id":10,"cmd":"response","k":4}"#);
+        assert_eq!(id, 10);
+        assert!(req.unwrap_err().contains("policy"));
+        let (id, req) = parse_line("not json at all");
+        assert_eq!(id, 0);
+        assert!(req.is_err());
+        let (_, req) = parse_line(r#"{"cmd":"response","policy":"sharing","k":-3}"#);
+        assert!(req.unwrap_err().contains('k'));
+    }
+
+    #[test]
+    fn replies_round_trip_floats_bit_exactly() {
+        let tricky = [0.1 + 0.2, f64::MIN_POSITIVE, 1.0 / 3.0, -0.0];
+        let line = ok_reply(3, object(vec![("g", float_array(&tricky))]));
+        let value: Value = serde_json::from_str(&line).unwrap();
+        let entries = value.as_object().unwrap();
+        assert_eq!(field(entries, "ok"), Some(&Value::Bool(true)));
+        let result = field(entries, "result").unwrap().as_object().unwrap();
+        let g = field(result, "g").unwrap().as_array().unwrap();
+        for (orig, got) in tricky.iter().zip(g.iter()) {
+            let Value::Float(f) = got else { panic!("not a float: {got:?}") };
+            assert_eq!(orig.to_bits(), f.to_bits());
+        }
+        let err = err_reply(4, "boom");
+        assert!(err.contains("\"ok\":false") && err.contains("boom"));
+    }
+}

@@ -1,0 +1,586 @@
+//! The long-lived evaluation daemon: socket front end, admission queue,
+//! batched dispatch, and demultiplexed replies.
+//!
+//! ## Lifecycle
+//!
+//! [`Server::bind`] opens the listener (TCP, or a Unix socket for
+//! `unix:<path>` addresses), then spawns two service threads:
+//!
+//! * the **acceptor** hands each connection a reader thread that parses
+//!   request lines and pushes them onto the shared admission queue;
+//! * the **dispatcher** wakes on the first arrival, holds the queue open
+//!   for the configured batching window so a concurrent burst can pile
+//!   up, then drains the batch: response requests are grouped by
+//!   `(k, resolution, tol)` ([`crate::batch::plan_groups`]) and each
+//!   group runs as **one** policy-major `GBatch` tile; everything else
+//!   (equilibrium solves, ESS probes, catalog scans) runs as singleton
+//!   work items. The whole batch fans out on the persistent
+//!   work-stealing pool (`dispersal_sim::engine::par_map`), and replies
+//!   are demultiplexed to each requester's connection by `id`.
+//!
+//! All evaluation flows through the daemon-lifetime shared caches
+//! ([`ServeCaches`]): warm interpolation grids and catalog tiles are
+//! shared across requests, connections, and worker threads. On
+//! `shutdown` the dispatcher prints a summary — request/batch counters
+//! plus one [`CacheStats`] line per cache.
+
+use crate::batch::{self, ResponseJob};
+use crate::protocol::{self, Request};
+use dispersal_core::kernel::cache::CacheStats;
+use dispersal_core::prelude::*;
+use dispersal_mech::catalog::{parse_policy, parse_profile, standard_catalog};
+use dispersal_mech::evaluator::{catalog_response_matrix_cached, ResponseCache};
+use dispersal_sim::engine;
+use dispersal_sim::sweep::SharedGridCache;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Value;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address: a TCP `host:port` (use port `0` for an ephemeral
+    /// port), or `unix:<path>` for a Unix-domain socket.
+    pub addr: String,
+    /// How long the dispatcher holds the admission queue open after the
+    /// first arrival, letting a concurrent burst coalesce into one
+    /// batch. Zero disables batching (every request dispatches alone).
+    pub batch_window: Duration,
+    /// Maximum requests drained into one admission batch.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            batch_window: Duration::from_millis(2),
+            max_batch: 256,
+        }
+    }
+}
+
+/// The daemon-lifetime shared caches every request is served through.
+#[derive(Debug, Default)]
+pub struct ServeCaches {
+    /// Interpolation grids for `tol`-mode response requests.
+    pub grids: SharedGridCache,
+    /// Policy-major catalog tiles for `catalog` requests.
+    pub catalog: ResponseCache,
+}
+
+/// Monotone service counters (snapshot of the daemon's atomics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Request lines received (including malformed ones).
+    pub requests: u64,
+    /// Reply lines written.
+    pub replies: u64,
+    /// Error replies among them.
+    pub errors: u64,
+    /// Admission batches dispatched.
+    pub admissions: u64,
+    /// Response requests that went through group batching.
+    pub response_requests: u64,
+    /// Distinct `(k, resolution, tol)` groups those formed.
+    pub response_groups: u64,
+}
+
+impl Metrics {
+    /// Average response-batch occupancy: requests per kernel tile. `1.0`
+    /// means no cross-request coalescing happened; the serve-smoke CI
+    /// gate asserts `≥ 2` under a concurrent burst.
+    pub fn avg_occupancy(&self) -> f64 {
+        if self.response_groups == 0 {
+            0.0
+        } else {
+            self.response_requests as f64 / self.response_groups as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    replies: AtomicU64,
+    errors: AtomicU64,
+    admissions: AtomicU64,
+    response_requests: AtomicU64,
+    response_groups: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> Metrics {
+        Metrics {
+            requests: self.requests.load(Ordering::Relaxed),
+            replies: self.replies.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            admissions: self.admissions.load(Ordering::Relaxed),
+            response_requests: self.response_requests.load(Ordering::Relaxed),
+            response_groups: self.response_groups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A connection's reply sink, shared between its reader thread (parse
+/// errors) and the dispatcher (results).
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// One admitted request waiting in the queue.
+struct Pending {
+    id: u64,
+    request: Request,
+    writer: SharedWriter,
+}
+
+struct Inner {
+    caches: ServeCaches,
+    counters: Counters,
+    config: ServerConfig,
+    stop: AtomicBool,
+    queue: Mutex<VecDeque<Pending>>,
+    arrivals: Condvar,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// A running daemon. Dropping the handle (or calling
+/// [`Server::shutdown`]) stops the service threads; [`Server::join`]
+/// blocks until a client's `shutdown` request stops them.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: String,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind the listener and start the acceptor + dispatcher threads.
+    pub fn bind(config: ServerConfig) -> Result<Server> {
+        let listener = if let Some(path) = config.addr.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                let listener = UnixListener::bind(path).map_err(Error::from)?;
+                listener.set_nonblocking(true).map_err(Error::from)?;
+                Listener::Unix(listener)
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(Error::InvalidArgument(format!(
+                    "unix sockets unsupported on this platform: {path}"
+                )));
+            }
+        } else {
+            let listener = TcpListener::bind(config.addr.as_str()).map_err(Error::from)?;
+            listener.set_nonblocking(true).map_err(Error::from)?;
+            Listener::Tcp(listener)
+        };
+        let addr = match &listener {
+            Listener::Tcp(l) => l.local_addr().map_err(Error::from)?.to_string(),
+            #[cfg(unix)]
+            Listener::Unix(_) => config.addr.clone(),
+        };
+        let inner = Arc::new(Inner {
+            caches: ServeCaches::default(),
+            counters: Counters::default(),
+            config,
+            stop: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            arrivals: Condvar::new(),
+        });
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || accept_loop(&inner, listener))
+        };
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || dispatch_loop(&inner))
+        };
+        Ok(Server { inner, addr, threads: vec![acceptor, dispatcher] })
+    }
+
+    /// The bound address clients should connect to — the resolved
+    /// `host:port` for TCP (ephemeral port filled in), the configured
+    /// `unix:<path>` for Unix sockets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Snapshot of the service counters.
+    pub fn metrics(&self) -> Metrics {
+        self.inner.counters.snapshot()
+    }
+
+    /// Snapshots of the daemon's shared caches: `(grids, catalog)`.
+    pub fn cache_stats(&self) -> (CacheStats, CacheStats) {
+        (self.inner.caches.grids.stats(), self.inner.caches.catalog.stats())
+    }
+
+    /// Request a stop (idempotent); service threads exit promptly but
+    /// asynchronously — follow with [`Server::join`] to wait for them.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.arrivals.notify_all();
+    }
+
+    /// Block until the daemon stops (a client `shutdown` request or a
+    /// prior [`Server::shutdown`] call), then join the service threads.
+    pub fn join(mut self) -> Metrics {
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        self.inner.counters.snapshot()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: Listener) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        let accepted: std::io::Result<()> = match &listener {
+            Listener::Tcp(l) => l.accept().map(|(stream, _)| spawn_tcp_reader(inner, stream)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(stream, _)| spawn_unix_reader(inner, stream)),
+        };
+        match accepted {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn spawn_tcp_reader(inner: &Arc<Inner>, stream: TcpStream) {
+    // Replies are small one-line writes; without TCP_NODELAY, Nagle's
+    // algorithm holds them hostage to the peer's delayed ACKs (tens of
+    // milliseconds per round trip on a persistent connection).
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else { return };
+    let writer: SharedWriter = Arc::new(Mutex::new(Box::new(write_half)));
+    let inner = Arc::clone(inner);
+    thread::spawn(move || read_requests(&inner, BufReader::new(stream), writer));
+}
+
+#[cfg(unix)]
+fn spawn_unix_reader(inner: &Arc<Inner>, stream: UnixStream) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let writer: SharedWriter = Arc::new(Mutex::new(Box::new(write_half)));
+    let inner = Arc::clone(inner);
+    thread::spawn(move || read_requests(&inner, BufReader::new(stream), writer));
+}
+
+fn write_line(writer: &SharedWriter, line: &str) {
+    if let Ok(mut sink) = writer.lock() {
+        let _ = sink.write_all(line.as_bytes());
+        let _ = sink.write_all(b"\n");
+        let _ = sink.flush();
+    }
+}
+
+fn read_requests<R: Read>(inner: &Arc<Inner>, reader: BufReader<R>, writer: SharedWriter) {
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (id, parsed) = protocol::parse_line(&line);
+        match parsed {
+            Err(message) => {
+                // Malformed requests are answered straight from the
+                // reader thread — they carry no work to batch.
+                inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                inner.counters.replies.fetch_add(1, Ordering::Relaxed);
+                write_line(&writer, &protocol::err_reply(id, &message));
+            }
+            Ok(request) => {
+                let pending = Pending { id, request, writer: Arc::clone(&writer) };
+                if let Ok(mut queue) = inner.queue.lock() {
+                    queue.push_back(pending);
+                }
+                inner.arrivals.notify_all();
+            }
+        }
+    }
+}
+
+fn dispatch_loop(inner: &Arc<Inner>) {
+    loop {
+        // Sleep until the first arrival (or stop).
+        {
+            let Ok(mut queue) = inner.queue.lock() else { break };
+            while queue.is_empty() && !inner.stop.load(Ordering::SeqCst) {
+                match inner.arrivals.wait_timeout(queue, Duration::from_millis(50)) {
+                    Ok((guard, _)) => queue = guard,
+                    Err(_) => return,
+                }
+            }
+            if queue.is_empty() {
+                break; // stop requested with nothing left to serve
+            }
+        }
+        // Admission window: let the rest of a concurrent burst arrive
+        // so it can be coalesced into shared kernel tiles.
+        if !inner.config.batch_window.is_zero() {
+            thread::sleep(inner.config.batch_window);
+        }
+        let batch: Vec<Pending> = {
+            let Ok(mut queue) = inner.queue.lock() else { break };
+            let take = queue.len().min(inner.config.max_batch.max(1));
+            queue.drain(..take).collect()
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        inner.counters.admissions.fetch_add(1, Ordering::Relaxed);
+        let stopping = process_batch(inner, &batch);
+        if stopping {
+            inner.stop.store(true, Ordering::SeqCst);
+            print_summary(inner);
+            break;
+        }
+    }
+}
+
+/// One unit of pool work: a coalesced response group, or a singleton.
+enum WorkItem {
+    Group(batch::Group),
+    Single(usize),
+}
+
+/// Evaluate and answer one admission batch. Returns whether a
+/// `shutdown` request was part of it.
+fn process_batch(inner: &Arc<Inner>, admitted: &[Pending]) -> bool {
+    // Split response requests (batchable) from singleton work.
+    let mut jobs: Vec<ResponseJob> = Vec::new();
+    let mut job_owner: Vec<usize> = Vec::new(); // job index -> admitted index
+    let mut items: Vec<WorkItem> = Vec::new();
+    for (index, pending) in admitted.iter().enumerate() {
+        match &pending.request {
+            Request::Response { k, resolution, tol, .. } => {
+                jobs.push(ResponseJob { k: *k, resolution: *resolution, tol: *tol });
+                job_owner.push(index);
+            }
+            _ => items.push(WorkItem::Single(index)),
+        }
+    }
+    let groups = batch::plan_groups(&jobs);
+    inner.counters.response_groups.fetch_add(groups.len() as u64, Ordering::Relaxed);
+    inner.counters.response_requests.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    items.extend(groups.into_iter().map(WorkItem::Group));
+
+    // Fan the whole batch out on the persistent pool. Each item returns
+    // its own (admitted index, per-request outcome) pairs; a failed
+    // request never fails the batch.
+    let evaluated: Vec<Vec<(usize, std::result::Result<Value, String>)>> =
+        match engine::par_map(items, |item| {
+            Ok(match item {
+                WorkItem::Single(index) => {
+                    vec![(index, eval_single(inner, &admitted[index].request))]
+                }
+                WorkItem::Group(group) => eval_group(inner, &group, &job_owner, admitted),
+            })
+        }) {
+            Ok(results) => results,
+            Err(e) => {
+                // The pool itself failed (never expected): answer every
+                // request with the error so no client hangs.
+                let message = format!("dispatch failed: {e}");
+                (0..admitted.len()).map(|i| vec![(i, Err(message.clone()))]).collect()
+            }
+        };
+
+    for (index, outcome) in evaluated.into_iter().flatten() {
+        let pending = &admitted[index];
+        let line = match outcome {
+            Ok(result) => protocol::ok_reply(pending.id, result),
+            Err(message) => {
+                inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                protocol::err_reply(pending.id, &message)
+            }
+        };
+        inner.counters.replies.fetch_add(1, Ordering::Relaxed);
+        write_line(&pending.writer, &line);
+    }
+    admitted.iter().any(|p| p.request == Request::Shutdown)
+}
+
+/// Evaluate one coalesced response group as a single kernel tile.
+fn eval_group(
+    inner: &Arc<Inner>,
+    group: &batch::Group,
+    job_owner: &[usize],
+    admitted: &[Pending],
+) -> Vec<(usize, std::result::Result<Value, String>)> {
+    // Parse each member's policy spec; spec errors stay per-member.
+    let mut owners: Vec<usize> = Vec::with_capacity(group.members.len());
+    let mut policies: Vec<Box<dyn Congestion>> = Vec::with_capacity(group.members.len());
+    let mut out: Vec<(usize, std::result::Result<Value, String>)> = Vec::new();
+    for &job_index in &group.members {
+        let owner = job_owner[job_index];
+        let Request::Response { policy, .. } = &admitted[owner].request else {
+            continue; // unreachable: groups are planned from Response jobs
+        };
+        match parse_policy(policy) {
+            Ok(parsed) => {
+                owners.push(owner);
+                policies.push(parsed);
+            }
+            Err(e) => out.push((owner, Err(e.to_string()))),
+        }
+    }
+    if policies.is_empty() {
+        return out;
+    }
+    let refs: Vec<&dyn Congestion> = policies.iter().map(|p| p.as_ref()).collect();
+    let qs = batch::group_qs(group.resolution);
+    let curves = match group.tol_bits {
+        None => batch::eval_exact_tile(&refs, group.k, &qs),
+        Some(bits) => {
+            batch::eval_interp_tile(&refs, group.k, &qs, f64::from_bits(bits), &inner.caches.grids)
+        }
+    };
+    match curves {
+        Ok(curves) => {
+            for ((owner, policy), g) in owners.iter().zip(refs.iter()).zip(curves) {
+                out.push((
+                    *owner,
+                    Ok(protocol::object(vec![
+                        ("policy", Value::Str(policy.name())),
+                        ("k", Value::UInt(group.k as u64)),
+                        ("qs", protocol::float_array(&qs)),
+                        ("g", protocol::float_array(&g)),
+                    ])),
+                ));
+            }
+        }
+        Err(e) => {
+            // A tile-level failure (bad k, bad tolerance) addresses every
+            // member — their requests share the failing shape.
+            let message = e.to_string();
+            out.extend(owners.iter().map(|&owner| (owner, Err(message.clone()))));
+        }
+    }
+    out
+}
+
+/// Evaluate one non-response request.
+fn eval_single(inner: &Arc<Inner>, request: &Request) -> std::result::Result<Value, String> {
+    match request {
+        Request::Response { .. } => Err("response requests are batched".into()), // unreachable
+        Request::Equilibrium { policy, profile, k } => {
+            let policy = parse_policy(policy).map_err(|e| e.to_string())?;
+            let f = parse_profile(profile).map_err(|e| e.to_string())?;
+            let ifd =
+                solve_ifd_allow_degenerate(policy.as_ref(), &f, *k).map_err(|e| e.to_string())?;
+            let cover = coverage(&f, &ifd.strategy, *k).map_err(|e| e.to_string())?;
+            let ctx = PayoffContext::new(policy.as_ref(), *k).map_err(|e| e.to_string())?;
+            let payoff = ctx.symmetric_payoff(&f, &ifd.strategy).map_err(|e| e.to_string())?;
+            Ok(protocol::object(vec![
+                ("policy", Value::Str(policy.name())),
+                ("k", Value::UInt(*k as u64)),
+                ("coverage", Value::Float(cover)),
+                ("payoff", Value::Float(payoff)),
+                ("support", Value::UInt(ifd.support as u64)),
+                ("residual", Value::Float(ifd.residual)),
+                ("probs", protocol::float_array(ifd.strategy.probs())),
+            ]))
+        }
+        Request::Ess { profile, k, mutants, seed } => {
+            let f = parse_profile(profile).map_err(|e| e.to_string())?;
+            let star = sigma_star(&f, *k).map_err(|e| e.to_string())?;
+            let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+            let report = probe_ess_k(&Exclusive, &f, &star.strategy, *mutants, &mut rng, *k)
+                .map_err(|e| e.to_string())?;
+            Ok(protocol::object(vec![
+                ("passed", Value::Bool(report.passed())),
+                ("mutants", Value::UInt(report.mutants_tested as u64)),
+                ("repelled", Value::UInt(report.repelled as u64)),
+                ("worst_margin", Value::Float(report.worst_margin)),
+            ]))
+        }
+        Request::Catalog { k, resolution } => {
+            let catalog = standard_catalog();
+            let response =
+                catalog_response_matrix_cached(&catalog, *k, *resolution, &inner.caches.catalog)
+                    .map_err(|e| e.to_string())?;
+            Ok(protocol::object(vec![
+                (
+                    "names",
+                    Value::Array(response.names.iter().map(|n| Value::Str(n.clone())).collect()),
+                ),
+                ("k", Value::UInt(*k as u64)),
+                ("tolerance", protocol::float_array(&response.tolerance_score)),
+            ]))
+        }
+        Request::Stats => Ok(metrics_value(inner)),
+        Request::Shutdown => Ok(protocol::object(vec![("stopping", Value::Bool(true))])),
+    }
+}
+
+fn cache_stats_value(stats: CacheStats) -> Value {
+    protocol::object(vec![
+        ("hits", Value::UInt(stats.hits)),
+        ("misses", Value::UInt(stats.misses)),
+        ("evictions", Value::UInt(stats.evictions)),
+        ("entries", Value::UInt(stats.entries as u64)),
+        ("capacity", Value::UInt(stats.capacity as u64)),
+    ])
+}
+
+fn metrics_value(inner: &Arc<Inner>) -> Value {
+    let metrics = inner.counters.snapshot();
+    protocol::object(vec![
+        ("requests", Value::UInt(metrics.requests)),
+        ("replies", Value::UInt(metrics.replies)),
+        ("errors", Value::UInt(metrics.errors)),
+        ("admissions", Value::UInt(metrics.admissions)),
+        ("response_requests", Value::UInt(metrics.response_requests)),
+        ("response_groups", Value::UInt(metrics.response_groups)),
+        ("avg_occupancy", Value::Float(metrics.avg_occupancy())),
+        (
+            "caches",
+            protocol::object(vec![
+                ("grid", cache_stats_value(inner.caches.grids.stats())),
+                ("catalog", cache_stats_value(inner.caches.catalog.stats())),
+            ]),
+        ),
+    ])
+}
+
+fn print_summary(inner: &Arc<Inner>) {
+    let metrics = inner.counters.snapshot();
+    println!(
+        "serve: {} requests ({} errors) in {} admission batches; \
+         {} response requests over {} kernel tiles (avg occupancy {:.2})",
+        metrics.requests,
+        metrics.errors,
+        metrics.admissions,
+        metrics.response_requests,
+        metrics.response_groups,
+        metrics.avg_occupancy()
+    );
+    println!("serve: grid cache    {}", inner.caches.grids.stats());
+    println!("serve: catalog cache {}", inner.caches.catalog.stats());
+}

@@ -3,13 +3,13 @@
 //! A thin grid-construction layer over [`crate::engine::par_map_seeded`].
 
 use crate::engine;
+use dispersal_core::kernel::cache::{CacheStats, SharedCache};
 use dispersal_core::kernel::{GBatch, GTable};
 use dispersal_core::policy::{validate_congestion, Congestion};
 use dispersal_core::value::ValueProfile;
 use dispersal_core::{Error, Result};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One cell of a sweep grid.
@@ -160,67 +160,98 @@ pub fn response_grid_batch(
 /// an interpolated sweep — refinement evaluates the exact `O(k)` kernel
 /// at every node until the measured midpoint error meets the bound.
 /// Sweeps that revisit the same `(policy, k)` cell (ε-grids, resolution
-/// scans, repeated plotting calls) should hold one `GridCache` so the
-/// grid is built once and shared as an [`Arc`]; the tolerance is
+/// scans, repeated plotting calls) should hold one `SharedGridCache` so
+/// the grid is built once and shared as an [`Arc`]; the tolerance is
 /// per-call — plotting sweeps typically pass `1e-9` (cheap, coarse
 /// grids), verification sweeps `1e-12` — and each distinct tolerance
 /// memoizes its own entry. Non-finite or non-positive tolerances are
 /// rejected with [`dispersal_core::Error::InvalidTolerance`] (propagated
 /// from [`GTable::with_grid`]).
-#[derive(Debug, Clone, Default)]
-pub struct GridCache {
-    map: HashMap<(Vec<u64>, u64), Arc<GTable>>,
-    builds: usize,
-    hits: usize,
+///
+/// Rebased on [`SharedCache`]: lookups take `&self`, so one cache is
+/// shared *by reference* across engine worker threads (sweep workers
+/// fetch their own grids concurrently) and across the requests of a
+/// long-lived daemon. Concurrent lookups of the same cell coordinate
+/// through a shard lock — the grid refinement runs at most once per
+/// residency — and the cache is size-bounded ([`GRID_CACHE_CAPACITY`]
+/// grids by default) with deterministic LRU eviction. Sharing and
+/// eviction change only *allocation*: a rebuilt cell reproduces the
+/// identical grid bits, so every evaluated curve is independent of who
+/// warmed the cache and in what order.
+#[derive(Debug)]
+pub struct SharedGridCache {
+    inner: SharedCache<(Vec<u64>, u64), GTable>,
 }
 
-impl GridCache {
-    /// An empty cache.
+/// Transitional name: the pre-refactor `&mut` memo was called
+/// `GridCache`; the concurrent rebase keeps the old name as an alias.
+pub type GridCache = SharedGridCache;
+
+/// Default resident bound for [`SharedGridCache`]: distinct
+/// `(policy, k, tol)` grids kept warm before least-recently-used grids
+/// are evicted. The full mechanism catalog at a handful of player counts
+/// and tolerances stays well inside 256 while bounding the footprint of
+/// a daemon that sees adversarial key diversity.
+pub const GRID_CACHE_CAPACITY: usize = 256;
+
+impl Default for SharedGridCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedGridCache {
+    /// An empty cache with the default capacity bound.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(GRID_CACHE_CAPACITY)
+    }
+
+    /// An empty cache holding at most `grids` entries (`0` = unbounded).
+    pub fn with_capacity(grids: usize) -> Self {
+        SharedGridCache { inner: SharedCache::new(grids) }
     }
 
     /// The gridded table for `(c, k)` at tolerance `tol`, built on first
     /// use. Returned as an [`Arc`] so parallel sweep workers can share
-    /// one instance without cloning the grid.
-    pub fn table(&mut self, c: &dyn Congestion, k: usize, tol: f64) -> Result<Arc<GTable>> {
+    /// one instance without cloning the grid; concurrent callers of the
+    /// same cell block on its shard until the single build finishes.
+    pub fn table(&self, c: &dyn Congestion, k: usize, tol: f64) -> Result<Arc<GTable>> {
         let coeffs = validate_congestion(c, k)?;
         if !(tol.is_finite() && tol > 0.0) {
             return Err(Error::InvalidTolerance { tol });
         }
         let key = (coeffs.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(), tol.to_bits());
-        if let Some(table) = self.map.get(&key) {
-            self.hits += 1;
-            return Ok(Arc::clone(table));
-        }
-        let table = Arc::new(GTable::from_coefficients(coeffs)?.with_grid(tol)?);
-        self.map.insert(key, Arc::clone(&table));
-        self.builds += 1;
-        Ok(table)
+        self.inner.get_or_try_insert_with(key, || GTable::from_coefficients(coeffs)?.with_grid(tol))
     }
 
-    /// Number of grids built so far.
+    /// Number of grids built so far (cache misses, including rebuilds
+    /// after eviction).
     #[inline]
     pub fn builds(&self) -> usize {
-        self.builds
+        self.inner.stats().misses as usize
     }
 
     /// Number of lookups served from an existing grid.
     #[inline]
     pub fn hits(&self) -> usize {
-        self.hits
+        self.inner.stats().hits as usize
     }
 
     /// Number of memoized grids.
     #[inline]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.inner.len()
     }
 
     /// Whether the cache holds no grids.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.inner.is_empty()
+    }
+
+    /// Uniform hit/miss/eviction snapshot ([`CacheStats`]).
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
     }
 }
 
@@ -236,14 +267,14 @@ pub fn response_grid_interpolated(
     ks: &[usize],
     resolution: usize,
     tol: f64,
-    cache: &mut GridCache,
+    cache: &SharedGridCache,
 ) -> Result<Vec<ResponseCurve>> {
     let qs = response_qs(ks, resolution)?;
-    // Builds go through the &mut cache serially (each build is itself the
-    // heavy step); evaluation fans out across curves.
-    let tables: Vec<(usize, Arc<GTable>)> =
-        ks.iter().map(|&k| cache.table(c, k, tol).map(|t| (k, t))).collect::<Result<_>>()?;
-    engine::par_map(tables, |(k, table)| {
+    // Both the grid builds and the evaluation fan out across curves: the
+    // shared cache coordinates duplicate cells through its shard locks,
+    // so each grid is refined at most once no matter the schedule.
+    engine::par_map(ks.to_vec(), |k| {
+        let table = cache.table(c, k, tol)?;
         let mut scratch = table.scratch();
         let mut g = vec![0.0; qs.len()];
         table.eval_fast_many_with(&mut scratch, &qs, &mut g)?;
@@ -253,38 +284,46 @@ pub fn response_grid_interpolated(
 
 /// The multi-policy sibling of [`response_grid_interpolated`]: every
 /// `(policy, k)` cell pulls its `O(1)`-per-point interpolation grid from
-/// (or builds it into) the shared [`GridCache`] at tolerance `tol`, then
-/// all cells evaluate in parallel over the shared `q`-grid. The cache is
-/// keyed by the coefficient fingerprint, so cells revisited by *either*
-/// this batched path or the single-policy [`response_grid_interpolated`]
-/// path reuse one [`Arc`]-shared grid — k-tiles of a batched sweep and
-/// stand-alone sweeps never build the same grid twice. Output is k-major
-/// (all policies of `ks[0]`, then `ks[1]`, …), matching
-/// [`response_grid_batch`].
+/// (or builds it into) the shared [`SharedGridCache`] at tolerance
+/// `tol`, then all cells evaluate in parallel over the shared `q`-grid.
+/// The cache is keyed by the coefficient fingerprint, so cells revisited
+/// by *either* this batched path or the single-policy
+/// [`response_grid_interpolated`] path reuse one [`Arc`]-shared grid —
+/// k-tiles of a batched sweep and stand-alone sweeps never build the
+/// same grid twice. Output is k-major (all policies of `ks[0]`, then
+/// `ks[1]`, …), matching [`response_grid_batch`].
 pub fn response_grid_batch_interpolated(
     policies: &[&dyn Congestion],
     ks: &[usize],
     resolution: usize,
     tol: f64,
-    cache: &mut GridCache,
+    cache: &SharedGridCache,
 ) -> Result<Vec<PolicyResponseCurve>> {
     check_policies(policies)?;
     let qs = response_qs(ks, resolution)?;
-    // Builds go through the &mut cache serially (the grid refinement is
-    // the heavy step); evaluation fans out across all (policy, k) cells,
-    // concurrently sharing each Arc'd grid across workers.
-    let mut cells: Vec<(String, usize, Arc<GTable>)> =
-        Vec::with_capacity(policies.len() * ks.len());
+    // Validate every cell up front so a bad tolerance or degenerate
+    // policy fails before any worker runs, then fan the whole grid of
+    // (policy, k) cells out at once — builds and evaluation both run on
+    // the pool, with duplicate cells coordinated by the cache's shard
+    // locks so each grid is refined at most once.
+    for c in policies {
+        validate_congestion(*c, ks[0])?;
+    }
+    if !(tol.is_finite() && tol > 0.0) {
+        return Err(Error::InvalidTolerance { tol });
+    }
+    let mut cells: Vec<(usize, &dyn Congestion)> = Vec::with_capacity(policies.len() * ks.len());
     for &k in ks {
         for c in policies {
-            cells.push((c.name(), k, cache.table(*c, k, tol)?));
+            cells.push((k, *c));
         }
     }
-    engine::par_map(cells, |(policy, k, table)| {
+    engine::par_map(cells, |(k, c)| {
+        let table = cache.table(c, k, tol)?;
         let mut scratch = table.scratch();
         let mut g = vec![0.0; qs.len()];
         table.eval_fast_many_with(&mut scratch, &qs, &mut g)?;
-        Ok(PolicyResponseCurve { policy, k, qs: qs.clone(), g })
+        Ok(PolicyResponseCurve { policy: c.name(), k, qs: qs.clone(), g })
     })
 }
 
@@ -361,13 +400,13 @@ mod tests {
 
     #[test]
     fn grid_cache_reuses_memoized_tables_across_sweep_calls() {
-        let mut cache = GridCache::new();
+        let cache = SharedGridCache::new();
         let ks = [4usize, 16];
-        let a = response_grid_interpolated(&Sharing, &ks, 32, 1e-9, &mut cache).unwrap();
+        let a = response_grid_interpolated(&Sharing, &ks, 32, 1e-9, &cache).unwrap();
         assert_eq!(cache.builds(), 2);
         assert_eq!(cache.hits(), 0);
         // Second sweep over the same cells: zero new builds, all hits.
-        let b = response_grid_interpolated(&Sharing, &ks, 64, 1e-9, &mut cache).unwrap();
+        let b = response_grid_interpolated(&Sharing, &ks, 64, 1e-9, &cache).unwrap();
         assert_eq!(cache.builds(), 2, "memoized grids must be reused");
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.len(), 2);
@@ -385,7 +424,7 @@ mod tests {
 
     #[test]
     fn grid_cache_tolerance_is_per_call() {
-        let mut cache = GridCache::new();
+        let cache = SharedGridCache::new();
         let fine = cache.table(&Sharing, 16, 1e-12).unwrap();
         let coarse = cache.table(&Sharing, 16, 1e-6).unwrap();
         // Distinct tolerances memoize distinct grids; the coarse one is
@@ -405,17 +444,17 @@ mod tests {
             );
         }
         assert!(matches!(
-            response_grid_interpolated(&Sharing, &[4], 8, -1.0, &mut cache),
+            response_grid_interpolated(&Sharing, &[4], 8, -1.0, &cache),
             Err(dispersal_core::Error::InvalidTolerance { .. })
         ));
     }
 
     #[test]
     fn interpolated_response_grid_tracks_exact_curves() {
-        let mut cache = GridCache::new();
+        let cache = SharedGridCache::new();
         let ks = [2usize, 8, 33];
         let tol = 1e-9;
-        let interp = response_grid_interpolated(&Sharing, &ks, 64, tol, &mut cache).unwrap();
+        let interp = response_grid_interpolated(&Sharing, &ks, 64, tol, &cache).unwrap();
         let exact = response_grid(&Sharing, &ks, 64).unwrap();
         for (ci, ce) in interp.iter().zip(exact.iter()) {
             assert_eq!(ci.k, ce.k);
@@ -428,8 +467,8 @@ mod tests {
                 );
             }
         }
-        assert!(response_grid_interpolated(&Sharing, &[], 8, tol, &mut cache).is_err());
-        assert!(response_grid_interpolated(&Sharing, &[2], 0, tol, &mut cache).is_err());
+        assert!(response_grid_interpolated(&Sharing, &[], 8, tol, &cache).is_err());
+        assert!(response_grid_interpolated(&Sharing, &[2], 0, tol, &cache).is_err());
     }
 
     #[test]
@@ -469,12 +508,11 @@ mod tests {
     #[test]
     fn grid_cache_is_shared_between_batch_and_single_policy_paths() {
         use dispersal_core::policy::Exclusive;
-        let mut cache = GridCache::new();
+        let cache = SharedGridCache::new();
         let policies: Vec<&dyn Congestion> = vec![&Sharing, &Exclusive];
         let ks = [4usize, 16];
         let tol = 1e-9;
-        let batched =
-            response_grid_batch_interpolated(&policies, &ks, 32, tol, &mut cache).unwrap();
+        let batched = response_grid_batch_interpolated(&policies, &ks, 32, tol, &cache).unwrap();
         assert_eq!(batched.len(), 4);
         assert_eq!(cache.builds(), 4, "one grid per (policy, k) cell");
         assert_eq!(cache.hits(), 0);
@@ -482,12 +520,12 @@ mod tests {
         // batched sweep must reuse every memoized grid (pure hits)...
         let pinned = cache.table(&Sharing, 4, tol).unwrap();
         assert_eq!(cache.hits(), 1);
-        response_grid_batch_interpolated(&policies, &ks, 64, tol, &mut cache).unwrap();
+        response_grid_batch_interpolated(&policies, &ks, 64, tol, &cache).unwrap();
         assert_eq!(cache.builds(), 4);
         assert_eq!(cache.hits(), 5);
         // ...and the single-policy GTable path requesting the same
         // (policy, k, tol) cells is served from the same entries.
-        let single = response_grid_interpolated(&Sharing, &ks, 32, tol, &mut cache).unwrap();
+        let single = response_grid_interpolated(&Sharing, &ks, 32, tol, &cache).unwrap();
         assert_eq!(cache.builds(), 4, "GTable path must not rebuild GBatch-tile grids");
         assert_eq!(cache.hits(), 7);
         assert!(Arc::ptr_eq(&pinned, &cache.table(&Sharing, 4, tol).unwrap()));
@@ -501,13 +539,13 @@ mod tests {
         // path, exactly like the single-policy one.
         for bad in [0.0, -1.0, f64::NAN] {
             assert!(matches!(
-                response_grid_batch_interpolated(&policies, &ks, 8, bad, &mut cache),
+                response_grid_batch_interpolated(&policies, &ks, 8, bad, &cache),
                 Err(dispersal_core::Error::InvalidTolerance { .. })
             ));
         }
-        assert!(response_grid_batch_interpolated(&[], &ks, 8, tol, &mut cache).is_err());
-        assert!(response_grid_batch_interpolated(&policies, &[], 8, tol, &mut cache).is_err());
-        assert!(response_grid_batch_interpolated(&policies, &ks, 0, tol, &mut cache).is_err());
+        assert!(response_grid_batch_interpolated(&[], &ks, 8, tol, &cache).is_err());
+        assert!(response_grid_batch_interpolated(&policies, &[], 8, tol, &cache).is_err());
+        assert!(response_grid_batch_interpolated(&policies, &ks, 0, tol, &cache).is_err());
     }
 
     #[test]
@@ -515,5 +553,80 @@ mod tests {
         let out: Result<Vec<SweepCell<f64>>> =
             sweep_grid(&instances(), &[2], 1, |_, _, _| Err(Error::InvalidArgument("boom".into())));
         assert!(out.is_err());
+    }
+
+    #[test]
+    fn grid_cache_concurrent_lookups_share_one_build() {
+        // Eight threads race on the same (policy, k, tol) cell: the shard
+        // lock must let exactly one of them refine the grid, and every
+        // thread must get the *same* Arc (ptr_eq extended to concurrency).
+        use std::sync::Barrier;
+        use std::thread;
+        let cache = Arc::new(SharedGridCache::new());
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    barrier.wait();
+                    cache.table(&Sharing, 16, 1e-9).unwrap()
+                })
+            })
+            .collect();
+        let tables: Vec<Arc<GTable>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for t in &tables[1..] {
+            assert!(Arc::ptr_eq(&tables[0], t), "all threads must share one grid");
+        }
+        assert_eq!(cache.builds(), 1, "the refinement must run exactly once");
+        assert_eq!(cache.hits(), 7);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn grid_cache_concurrent_warm_order_is_value_independent() {
+        // Threads warm disjoint permutations of the same cell set
+        // concurrently; afterwards every cell's grid is bit-identical to
+        // a fresh single-threaded build (warm order extended to
+        // concurrency: sharing changes allocation, never values).
+        use std::thread;
+        let cache = Arc::new(SharedGridCache::new());
+        let cells: Vec<(usize, f64)> = vec![(4, 1e-9), (16, 1e-9), (8, 1e-6), (33, 1e-9)];
+        let mut orders: Vec<Vec<(usize, f64)>> = Vec::new();
+        for rot in 0..4 {
+            let mut order = cells.clone();
+            order.rotate_left(rot);
+            orders.push(order);
+        }
+        let handles: Vec<_> = orders
+            .into_iter()
+            .map(|order| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    for (k, tol) in order {
+                        cache.table(&Sharing, k, tol).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.builds(), cells.len(), "each cell built exactly once");
+        for &(k, tol) in &cells {
+            let shared = cache.table(&Sharing, k, tol).unwrap();
+            let fresh = SharedGridCache::new().table(&Sharing, k, tol).unwrap();
+            assert_eq!(shared.grid_cells(), fresh.grid_cells(), "k = {k}");
+            let qs: Vec<f64> = (0..=64).map(|i| i as f64 / 64.0).collect();
+            let mut sa = shared.scratch();
+            let mut sb = fresh.scratch();
+            let mut ga = vec![0.0; qs.len()];
+            let mut gb = vec![0.0; qs.len()];
+            shared.eval_fast_many_with(&mut sa, &qs, &mut ga).unwrap();
+            fresh.eval_fast_many_with(&mut sb, &qs, &mut gb).unwrap();
+            for (a, b) in ga.iter().zip(gb.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "k = {k}");
+            }
+        }
     }
 }

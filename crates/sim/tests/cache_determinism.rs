@@ -1,18 +1,21 @@
 //! Cache-state independence of the sweep outputs (`deterministic-iteration`
 //! contract, dynamic side).
 //!
-//! `GridCache` memoizes interpolation grids in a `HashMap`, which is fine
-//! *only* because every access is a keyed lookup — nothing ever iterates
-//! the map into an output. These tests pin the observable consequence:
-//! sweep results are bit-identical regardless of the order grids were
-//! warmed into the cache, whether entries arrived via the single-policy
-//! or the batched path, and at every worker-thread count.
+//! `SharedGridCache` memoizes interpolation grids behind sharded locks,
+//! which is fine *only* because every access is a keyed lookup — nothing
+//! ever iterates a map into an output. These tests pin the observable
+//! consequence: sweep results are bit-identical regardless of the order
+//! grids were warmed into the cache, whether entries arrived via the
+//! single-policy or the batched path, whether the cache was warmed by one
+//! thread or hammered by many concurrent clients, and at every
+//! worker-thread count.
 
 use dispersal_core::policy::{Congestion, Sharing, TwoLevel};
 use dispersal_sim::sweep::{
-    response_grid_batch_interpolated, response_grid_interpolated, GridCache,
+    response_grid_batch_interpolated, response_grid_interpolated, SharedGridCache,
 };
-use std::sync::Mutex;
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
 
 /// Serializes the tests that reconfigure the global pool width, mirroring
 /// determinism.rs's `THREAD_SWEEP_LOCK` (the pool override is process
@@ -23,7 +26,7 @@ const KS: [usize; 3] = [5, 17, 64];
 const RESOLUTION: usize = 96;
 const TOL: f64 = 1e-9;
 
-fn curve_bits(c: &dyn Congestion, cache: &mut GridCache) -> Vec<Vec<u64>> {
+fn curve_bits(c: &dyn Congestion, cache: &SharedGridCache) -> Vec<Vec<u64>> {
     response_grid_interpolated(c, &KS, RESOLUTION, TOL, cache)
         .expect("interpolated sweep")
         .into_iter()
@@ -35,14 +38,14 @@ fn curve_bits(c: &dyn Congestion, cache: &mut GridCache) -> Vec<Vec<u64>> {
 fn grid_cache_results_independent_of_warm_order() {
     let policies: [&dyn Congestion; 2] = [&Sharing, &TwoLevel { c: -0.3 }];
     // Forward warm: policies × ks in natural order.
-    let mut forward = GridCache::new();
+    let forward = SharedGridCache::new();
     for c in policies {
         for &k in &KS {
             forward.table(c, k, TOL).expect("grid build");
         }
     }
     // Reverse warm: same cells inserted in the opposite order.
-    let mut reverse = GridCache::new();
+    let reverse = SharedGridCache::new();
     for c in policies.iter().rev() {
         for &k in KS.iter().rev() {
             reverse.table(*c, k, TOL).expect("grid build");
@@ -51,8 +54,8 @@ fn grid_cache_results_independent_of_warm_order() {
     assert_eq!(forward.builds(), reverse.builds());
     assert_eq!(forward.len(), reverse.len());
     for c in policies {
-        let a = curve_bits(c, &mut forward);
-        let b = curve_bits(c, &mut reverse);
+        let a = curve_bits(c, &forward);
+        let b = curve_bits(c, &reverse);
         assert_eq!(a, b, "warm order changed sweep bits for {}", c.name());
     }
 }
@@ -63,15 +66,15 @@ fn grid_cache_shared_across_single_and_batched_paths() {
     // path from the same grids (no rebuilds) with identical bits, and
     // vice versa against a cold cache.
     let policies: [&dyn Congestion; 2] = [&Sharing, &TwoLevel { c: -0.3 }];
-    let mut warmed = GridCache::new();
+    let warmed = SharedGridCache::new();
     for c in policies {
-        curve_bits(c, &mut warmed);
+        curve_bits(c, &warmed);
     }
     let builds_after_warm = warmed.builds();
-    let mut cold = GridCache::new();
-    let via_warm = response_grid_batch_interpolated(&policies, &KS, RESOLUTION, TOL, &mut warmed)
+    let cold = SharedGridCache::new();
+    let via_warm = response_grid_batch_interpolated(&policies, &KS, RESOLUTION, TOL, &warmed)
         .expect("batched sweep");
-    let via_cold = response_grid_batch_interpolated(&policies, &KS, RESOLUTION, TOL, &mut cold)
+    let via_cold = response_grid_batch_interpolated(&policies, &KS, RESOLUTION, TOL, &cold)
         .expect("batched sweep");
     assert_eq!(warmed.builds(), builds_after_warm, "batched path rebuilt a warmed grid");
     for (a, b) in via_warm.iter().zip(via_cold.iter()) {
@@ -90,8 +93,8 @@ fn grid_cache_sweeps_bit_identical_across_thread_counts() {
     let mut reference: Option<Vec<Vec<u64>>> = None;
     for threads in [1usize, 2, 8] {
         rayon::set_num_threads(threads);
-        let mut cache = GridCache::new();
-        let bits = curve_bits(&policy, &mut cache);
+        let cache = SharedGridCache::new();
+        let bits = curve_bits(&policy, &cache);
         match &reference {
             None => reference = Some(bits),
             Some(expected) => {
@@ -100,4 +103,45 @@ fn grid_cache_sweeps_bit_identical_across_thread_counts() {
         }
     }
     rayon::set_num_threads(0);
+}
+
+#[test]
+fn grid_cache_concurrent_clients_bit_identical_to_serial_warm_up() {
+    // The `&SharedGridCache` rebase means one cache can serve many client
+    // threads at once (the daemon scenario). Eight clients racing full
+    // sweeps — every pair of them colliding on every (policy, k, tol)
+    // cell — must each observe exactly the bits a lone client gets from
+    // its own serially warmed cache: concurrency changes who builds a
+    // grid, never what any client reads.
+    let policies: [&dyn Congestion; 2] = [&Sharing, &TwoLevel { c: -0.3 }];
+    let serial = SharedGridCache::new();
+    let expected: Vec<Vec<Vec<u64>>> = policies.iter().map(|c| curve_bits(*c, &serial)).collect();
+
+    let shared = Arc::new(SharedGridCache::new());
+    let barrier = Arc::new(Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|client| {
+            let shared = Arc::clone(&shared);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let policies: [&dyn Congestion; 2] = [&Sharing, &TwoLevel { c: -0.3 }];
+                barrier.wait();
+                // Half the clients walk the policies in reverse so the
+                // interleavings cover both warm orders.
+                let order: Vec<usize> = if client % 2 == 0 { vec![0, 1] } else { vec![1, 0] };
+                let mut out = vec![Vec::new(), Vec::new()];
+                for i in order {
+                    out[i] = curve_bits(policies[i], &shared);
+                }
+                out
+            })
+        })
+        .collect();
+    for handle in handles {
+        let got = handle.join().expect("client thread");
+        assert_eq!(got, expected, "a concurrent client observed different sweep bits");
+    }
+    // Each (policy, k) cell was refined exactly once across all clients.
+    assert_eq!(shared.builds(), policies.len() * KS.len());
+    assert_eq!(shared.stats().evictions, 0);
 }

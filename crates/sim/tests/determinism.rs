@@ -144,11 +144,10 @@ fn batched_response_grids_bit_identical_across_thread_counts() {
     let mut interp = Vec::new();
     for threads in [1usize, 8] {
         rayon::set_num_threads(threads);
-        let mut cache = GridCache::new();
+        let cache = GridCache::new();
         exact.push(response_grid(&Sharing, &ks, 96).unwrap());
         batch.push(response_grid_batch(&policies, &ks, 96).unwrap());
-        interp
-            .push(response_grid_batch_interpolated(&policies, &ks, 96, 1e-9, &mut cache).unwrap());
+        interp.push(response_grid_batch_interpolated(&policies, &ks, 96, 1e-9, &cache).unwrap());
     }
     rayon::set_num_threads(0);
     for (a, b) in exact[0].iter().zip(exact[1].iter()) {

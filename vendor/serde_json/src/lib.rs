@@ -285,7 +285,11 @@ impl Parser<'_> {
                 return Ok(Value::UInt(u));
             }
             if let Ok(i) = text.parse::<i64>() {
-                return Ok(Value::Int(i));
+                // `-0` must stay a float: collapsing it to integer zero
+                // would drop the sign bit and break bit-exact round-trips.
+                if i != 0 {
+                    return Ok(Value::Int(i));
+                }
             }
         }
         text.parse::<f64>().map(Value::Float).map_err(|_| Error(format!("invalid number `{text}`")))
