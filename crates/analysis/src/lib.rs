@@ -37,7 +37,8 @@
 //!   (`guard::quick_mode`) and a CI invocation of it, so no recorded
 //!   trajectory can regress unguarded. Trajectories with named per-lane
 //!   floors ([`REQUIRED_GUARD_LABELS`]: the engine pool-reuse floor, the
-//!   batch AVX2-vs-scalar floor, the serve admission-batching floor)
+//!   batch AVX2-vs-scalar floor, the serve admission-batching floor, the
+//!   search batched-expansion floor)
 //!   must keep those labels in their guard — deleting a floor is a lint
 //!   failure, not a silent coverage loss.
 //!
@@ -653,10 +654,11 @@ pub struct BenchGuardInput {
 /// gemm-vs-loop floor keeps the guard "present"); pinning the guard
 /// labels here makes that a lint failure. Labels are the exact strings
 /// passed to `guard::check_speedup` / `guard::check_overhead`.
-pub const REQUIRED_GUARD_LABELS: [(&str, &[&str]); 3] = [
+pub const REQUIRED_GUARD_LABELS: [(&str, &[&str]); 4] = [
     ("batch", &["batch gemm_speedup", "batch gbatch_gemm avx2-vs-scalar"]),
     ("engine", &["engine pool_overhead", "engine pool_reuse dispatch-vs-respawn"]),
     ("serve", &["serve admission-batch-vs-sequential"]),
+    ("search", &["search batched-vs-sequential-expansion"]),
 ];
 
 /// Check that every recorded bench trajectory has a quick guard wired
@@ -857,7 +859,8 @@ impl Report {
 
 /// Directories whose non-test code must be panic-free (library crates of
 /// the analytic stack).
-const UNWRAP_ROOTS: [&str; 3] = ["crates/core/src", "crates/sim/src", "crates/mech/src"];
+const UNWRAP_ROOTS: [&str; 4] =
+    ["crates/core/src", "crates/sim/src", "crates/search/src", "crates/mech/src"];
 
 /// Directories scanned for hash-iteration (everything that produces
 /// output, including the bench bins and this crate).

@@ -10,6 +10,7 @@
 //! dispersal evaluate   --profile <spec> -k <n>          # whole catalog
 //! dispersal responses  -k <n>           # catalog g-curves, one GBatch row each
 //! dispersal serve      [--addr <host:port|unix:path>] [--batch-window <ms>]
+//! dispersal search-mech --profile <spec> -k <n> [--objective welfare|spoa]
 //! ```
 //!
 //! Policy specs: `exclusive | sharing | constant | two-level:<c> |
@@ -29,10 +30,12 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: dispersal <solve|sigma-star|optimal|spoa|ess|evaluate|responses|serve> \
+    "usage: dispersal <solve|sigma-star|optimal|spoa|ess|evaluate|responses|serve|search-mech> \
                      [--policy <spec>] [--profile <spec>] -k <n> [--mutants <n>] [--seed <n>]\n\
                      serve flags: [--addr <host:port|unix:path>] [--batch-window <ms>] \
-                     [--max-batch <n>]\n\
+                     [--max-batch <n>] [--max-line-bytes <n>] [--read-timeout <secs, 0 = off>]\n\
+                     search-mech flags: [--objective welfare|spoa] [--budget <n>] [--wave <n>] \
+                     [--children <n>] [--mutants <n>] [--seed <n>]\n\
                      run `dispersal help` for spec syntax";
 
 /// Flag table for the shared parser in `dispersal_bench::runner`.
@@ -46,6 +49,12 @@ const FLAG_SPEC: &[(&str, &str)] = &[
     ("--addr", "addr"),
     ("--batch-window", "batch-window"),
     ("--max-batch", "max-batch"),
+    ("--max-line-bytes", "max-line-bytes"),
+    ("--read-timeout", "read-timeout"),
+    ("--objective", "objective"),
+    ("--budget", "budget"),
+    ("--wave", "wave"),
+    ("--children", "children"),
 ];
 
 fn get_k(flags: &BTreeMap<String, String>) -> Result<usize> {
@@ -214,6 +223,53 @@ fn run() -> Result<()> {
                 );
             }
         }
+        "search-mech" => {
+            // Parallel best-first search over mechanism space: maximize
+            // welfare (or minimize SPoA) over parameterized congestion
+            // families, subject to ESS feasibility.
+            let f = get_profile(&flags)?;
+            let k = get_k(&flags)?;
+            let parse_usize = |name: &str, default: usize| -> Result<usize> {
+                flags
+                    .get(name)
+                    .map(|s| s.parse::<usize>())
+                    .transpose()
+                    .map_err(|e| Error::InvalidArgument(format!("bad --{name}: {e}")))
+                    .map(|v| v.unwrap_or(default))
+            };
+            let mut cfg = dispersal_search::parallel::SearchConfig::new(k, f);
+            if let Some(spec) = flags.get("objective") {
+                cfg.objective = dispersal_search::parallel::Objective::parse(spec)?;
+            }
+            cfg.budget = parse_usize("budget", cfg.budget)?;
+            cfg.wave = parse_usize("wave", cfg.wave)?;
+            cfg.children = parse_usize("children", cfg.children)?;
+            cfg.ess_mutants = parse_usize("mutants", cfg.ess_mutants)?;
+            cfg.seed = flags
+                .get("seed")
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| Error::InvalidArgument(format!("bad --seed: {e}")))?
+                .unwrap_or(cfg.seed);
+            let outcome = dispersal_search::parallel::search_mechanisms(&cfg)?;
+            let best = &outcome.best;
+            println!("best mechanism      = {}", best.spec);
+            println!("family              = {}", best.family);
+            println!("params              = {:?}", best.params);
+            println!("welfare             = {:.6}", best.welfare);
+            println!("optimal coverage    = {:.6}", best.optimal_coverage);
+            println!("SPoA                = {:.6}", best.spoa);
+            println!("ESS margin          = {:.3e}", best.ess_margin);
+            println!(
+                "ESS certified       = {}",
+                if best.ess_passed { "yes" } else { "no (probe skipped)" }
+            );
+            println!("node id             = {}", best.node_id);
+            println!(
+                "expansions          = {} ({} evaluations, {} frontier left)",
+                outcome.expansions, outcome.evaluations, outcome.frontier_remaining
+            );
+        }
         "serve" => {
             // Grow the one-shot CLI into a long-lived daemon: warm caches,
             // a persistent pool, and cross-request admission batching.
@@ -231,10 +287,28 @@ fn run() -> Result<()> {
                 .transpose()
                 .map_err(|e| Error::InvalidArgument(format!("bad --max-batch: {e}")))?
                 .unwrap_or(256);
+            let defaults = ServerConfig::default();
+            let max_line_bytes = flags
+                .get("max-line-bytes")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| Error::InvalidArgument(format!("bad --max-line-bytes: {e}")))?
+                .unwrap_or(defaults.max_line_bytes);
+            let read_timeout = flags
+                .get("read-timeout")
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| Error::InvalidArgument(format!("bad --read-timeout: {e}")))?
+                .map_or(defaults.read_timeout, |secs| {
+                    // 0 disables the idle timeout.
+                    (secs > 0).then(|| std::time::Duration::from_secs(secs))
+                });
             let server = dispersal_serve::server::Server::bind(ServerConfig {
                 addr,
                 batch_window: std::time::Duration::from_millis(window_ms),
                 max_batch,
+                max_line_bytes,
+                read_timeout,
             })?;
             println!("listening on {}", server.addr());
             server.join();

@@ -29,7 +29,7 @@ fn run(ctx: &mut RunContext) -> Result<()> {
     let prior = Prior::zipf(30, 1.0)?;
     let k = 4usize;
     let mut astar = IteratedSigmaStar::new(&prior, k)?;
-    let round1 = astar.round(0);
+    let round1 = astar.round(0)?;
     let direct = sigma_star(prior.profile(), k)?.strategy;
     let identity_gap = round1.linf_distance(&direct)?;
     println!("SRCH: |A*-round-1 − sigma*|_inf = {identity_gap:.2e} (paper: identical)");
@@ -54,7 +54,7 @@ fn run(ctx: &mut RunContext) -> Result<()> {
             let a = evaluate_plan(&mut astar, prior, k, horizon)?;
             let mut uni = UniformPlan::new(m);
             let u = evaluate_plan(&mut uni, prior, k, horizon)?;
-            let mut prop = ProportionalPlan::new(prior);
+            let mut prop = ProportionalPlan::new(prior)?;
             let p = evaluate_plan(&mut prop, prior, k, horizon)?;
             let mut sweep = SweepPlan::new(m);
             let s = evaluate_plan(&mut sweep, prior, k, horizon)?;

@@ -171,6 +171,7 @@ fn run(ctx: &mut RunContext) -> Result<()> {
         // the window itself dominating the measured latency.
         batch_window: Duration::from_millis(3),
         max_batch: 4096,
+        ..ServerConfig::default()
     })?;
     let addr = server.addr().to_string();
 

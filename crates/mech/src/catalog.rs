@@ -45,11 +45,18 @@ pub fn parse_policy(spec: &str) -> Result<Box<dyn Congestion>> {
         None => (spec, None),
     };
     let parse_arg = |what: &str| -> Result<f64> {
-        arg.ok_or_else(|| {
-            Error::InvalidArgument(format!("{what} requires an argument, e.g. {what}:0.3"))
-        })?
-        .parse::<f64>()
-        .map_err(|e| Error::InvalidArgument(format!("bad {what} argument: {e}")))
+        let value = arg
+            .ok_or_else(|| {
+                Error::InvalidArgument(format!("{what} requires an argument, e.g. {what}:0.3"))
+            })?
+            .parse::<f64>()
+            .map_err(|e| Error::InvalidArgument(format!("bad {what} argument: {e}")))?;
+        // `f64::from_str` happily parses "NaN"/"inf"; a non-finite
+        // congestion factor would poison every payoff downstream.
+        if !value.is_finite() {
+            return Err(Error::InvalidArgument(format!("non-finite {what} argument: {value}")));
+        }
+        Ok(value)
     };
     match head {
         "exclusive" => Ok(Box::new(Exclusive)),
@@ -101,6 +108,22 @@ mod tests {
         assert!(parse_policy("two-level:abc").is_err());
         assert!(parse_policy("power:-1").is_err());
     }
+
+    #[test]
+    fn parse_rejects_non_finite_policy_arguments() {
+        // Regression: `f64::from_str` accepts "NaN"/"inf"/"-inf", and the
+        // pre-fix parser forwarded them into policy constructors whose own
+        // range checks (e.g. Cooperative's `theta > 0`) NaN slips past.
+        // The parser must reject non-finite arguments itself, with a
+        // distinctive "non-finite" message.
+        for spec in ["cooperative:NaN", "cooperative:inf", "two-level:-inf", "linear:NaN"] {
+            let err = match parse_policy(spec) {
+                Err(e) => e.to_string(),
+                Ok(_) => panic!("spec {spec} parsed"),
+            };
+            assert!(err.contains("non-finite"), "spec {spec} gave: {err}");
+        }
+    }
 }
 
 /// Parse a value-profile spec string:
@@ -112,8 +135,13 @@ pub fn parse_profile(spec: &str) -> Result<dispersal_core::value::ValueProfile> 
     let head = parts.next().unwrap_or("");
     let rest: Vec<&str> = parts.collect();
     let num = |s: &str| -> Result<f64> {
-        s.parse::<f64>()
-            .map_err(|e| Error::InvalidArgument(format!("bad number '{s}' in profile spec: {e}")))
+        let value = s.parse::<f64>().map_err(|e| {
+            Error::InvalidArgument(format!("bad number '{s}' in profile spec: {e}"))
+        })?;
+        if !value.is_finite() {
+            return Err(Error::InvalidArgument(format!("non-finite number '{s}' in profile spec")));
+        }
+        Ok(value)
     };
     let int = |s: &str| -> Result<usize> {
         s.parse::<usize>()
@@ -180,5 +208,15 @@ mod profile_spec_tests {
         assert!(parse_profile("martian:3:1").is_err());
         assert!(parse_profile("values:1.0,-2.0").is_err());
         assert!(parse_profile("linear:3:0.2:0.9").is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_profile_numbers() {
+        // Regression: pre-fix, "zipf:5:inf" and friends parsed and reached
+        // ValueProfile constructors with non-finite shape parameters.
+        for spec in ["zipf:5:inf", "geometric:4:NaN", "uniform:6:inf", "values:1.0,NaN"] {
+            let err = parse_profile(spec).unwrap_err().to_string();
+            assert!(err.contains("non-finite"), "spec {spec} gave: {err}");
+        }
     }
 }

@@ -11,6 +11,9 @@
 //! * [`kleinberg_oren`] — the reward-design baseline of \[23\], implemented
 //!   to exhibit the contrasts the paper draws (needs `k`, needs mutable
 //!   rewards).
+//! * [`scoring`] — scorecards for *table-specified* mechanisms (the rows
+//!   of a search's `GBatch` tile), commensurable with the catalog
+//!   evaluator, plus the Kleinberg–Oren baseline on the same welfare axis.
 //! * [`report`] — CSV / ASCII-plot / Markdown emitters for the experiment
 //!   binaries.
 
@@ -22,6 +25,7 @@ pub mod evaluator;
 pub mod kleinberg_oren;
 pub mod report;
 pub mod robustness;
+pub mod scoring;
 
 /// Common imports for mechanism-design workflows.
 pub mod prelude {
@@ -32,5 +36,9 @@ pub mod prelude {
     pub use crate::report::{ascii_plot, markdown_table, to_csv, Series};
     pub use crate::robustness::{
         k_misspecification_curve, value_noise_robustness, KMisspecPoint, NoiseRobustness,
+    };
+    pub use crate::scoring::{
+        kleinberg_oren_score, policy_table, score_catalog, score_table, KleinbergOrenScore,
+        MechScore,
     };
 }

@@ -21,10 +21,20 @@ use dispersal_core::{Error, Result};
 
 /// Compute σ⋆ for an *unsorted* positive weight vector by sorting, solving,
 /// and undoing the permutation.
+///
+/// Non-finite weights are rejected *before* sorting: a NaN would otherwise
+/// make the comparator fall back to `Equal` and silently produce an
+/// arbitrary rank order (i.e. an arbitrary strategy). The error reports the
+/// offending index in the caller's (unsorted) coordinates.
 pub fn sigma_star_unsorted(weights: &[f64], k: usize) -> Result<Strategy> {
     let m = weights.len();
     if m == 0 {
         return Err(Error::EmptyProfile);
+    }
+    for (index, &value) in weights.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(Error::InvalidValue { index, value });
+        }
     }
     let mut order: Vec<usize> = (0..m).collect();
     order
@@ -63,26 +73,26 @@ impl IteratedSigmaStar {
         })
     }
 
-    fn extend_to(&mut self, t: usize) {
+    fn extend_to(&mut self, t: usize) -> Result<()> {
         while self.rounds.len() <= t {
             // Floor the weights: once a box is (almost surely) exhausted its
             // weight underflows; keep a tiny positive mass so ValueProfile
             // stays valid. These boxes get ~zero probability anyway.
             let floored: Vec<f64> = self.weights.iter().map(|&w| w.max(1e-300)).collect();
-            let strategy = sigma_star_unsorted(&floored, self.k)
-                .expect("positive weights always yield a valid sigma-star");
+            let strategy = sigma_star_unsorted(&floored, self.k)?;
             for (w, p) in self.weights.iter_mut().zip(strategy.probs().iter()) {
                 *w *= (1.0 - p).powi(self.k as i32);
             }
             self.rounds.push(strategy);
         }
+        Ok(())
     }
 }
 
 impl SearchPlan for IteratedSigmaStar {
-    fn round(&mut self, t: usize) -> Strategy {
-        self.extend_to(t);
-        self.rounds[t].clone()
+    fn round(&mut self, t: usize) -> Result<Strategy> {
+        self.extend_to(t)?;
+        Ok(self.rounds[t].clone())
     }
 
     fn name(&self) -> String {
@@ -100,7 +110,7 @@ mod tests {
         let prior = Prior::zipf(12, 1.0).unwrap();
         let k = 3;
         let mut plan = IteratedSigmaStar::new(&prior, k).unwrap();
-        let round1 = plan.round(0);
+        let round1 = plan.round(0).unwrap();
         let direct = sigma_star(prior.profile(), k).unwrap().strategy;
         let d = round1.linf_distance(&direct).unwrap();
         assert!(d < 1e-12, "distance {d}");
@@ -126,19 +136,43 @@ mod tests {
     }
 
     #[test]
+    fn sigma_star_unsorted_rejects_non_finite_weights_at_original_index() {
+        // Regression: pre-fix, the NaN-tolerant comparator sorted the
+        // infinity to rank 0 and the error (if any) surfaced from sorted
+        // space with the wrong index. The finiteness scan must reject in
+        // the caller's coordinates: the bad weight sits at index 1.
+        let err = sigma_star_unsorted(&[1.0, f64::INFINITY, 0.5], 2).unwrap_err();
+        match err {
+            Error::InvalidValue { index, value } => {
+                assert_eq!(index, 1, "must report the unsorted index");
+                assert!(value.is_infinite());
+            }
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
+        let err = sigma_star_unsorted(&[0.3, 0.7, f64::NAN], 2).unwrap_err();
+        match err {
+            Error::InvalidValue { index, value } => {
+                assert_eq!(index, 2);
+                assert!(value.is_nan());
+            }
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn posterior_weights_shift_mass_to_unexplored_boxes() {
         // With a steep prior, round 1 concentrates on the top boxes; later
         // rounds must spread to the tail as the top is exhausted.
         let prior = Prior::geometric(10, 0.5).unwrap();
         let k = 2;
         let mut plan = IteratedSigmaStar::new(&prior, k).unwrap();
-        let r0 = plan.round(0);
+        let r0 = plan.round(0).unwrap();
         // The sigma-star support of this steep prior is 2 boxes, so round 1
         // ignores boxes 2.. entirely; as those top boxes are exhausted the
         // posterior pushes probability beyond the initial support.
         let support0 = r0.support_size(1e-12);
         assert_eq!(support0, 2, "initial support");
-        let r8 = plan.round(8);
+        let r8 = plan.round(8).unwrap();
         let beyond_r0: f64 = (support0..10).map(|x| r0.prob(x)).sum();
         let beyond_r8: f64 = (support0..10).map(|x| r8.prob(x)).sum();
         assert_eq!(beyond_r0, 0.0);
@@ -149,8 +183,8 @@ mod tests {
     fn rounds_are_memoized_and_stable() {
         let prior = Prior::uniform(5).unwrap();
         let mut plan = IteratedSigmaStar::new(&prior, 2).unwrap();
-        let a = plan.round(2);
-        let b = plan.round(2);
+        let a = plan.round(2).unwrap();
+        let b = plan.round(2).unwrap();
         assert_eq!(a, b);
     }
 
@@ -160,7 +194,7 @@ mod tests {
         let prior = Prior::uniform(6).unwrap();
         let mut plan = IteratedSigmaStar::new(&prior, 3).unwrap();
         for t in 0..4 {
-            let r = plan.round(t);
+            let r = plan.round(t).unwrap();
             for x in 0..6 {
                 assert!((r.prob(x) - 1.0 / 6.0).abs() < 1e-9, "round {t} box {x}: {}", r.prob(x));
             }

@@ -3,6 +3,7 @@
 use crate::plan::SearchPlan;
 use crate::prior::Prior;
 use dispersal_core::strategy::Strategy;
+use dispersal_core::Result;
 
 /// Every round, every searcher samples uniformly over all boxes.
 #[derive(Debug, Clone)]
@@ -19,8 +20,8 @@ impl UniformPlan {
 }
 
 impl SearchPlan for UniformPlan {
-    fn round(&mut self, _t: usize) -> Strategy {
-        Strategy::uniform(self.m).expect("m > 0")
+    fn round(&mut self, _t: usize) -> Result<Strategy> {
+        Strategy::uniform(self.m)
     }
 
     fn name(&self) -> String {
@@ -36,16 +37,17 @@ pub struct ProportionalPlan {
 }
 
 impl ProportionalPlan {
-    /// Build over a prior.
-    pub fn new(prior: &Prior) -> Self {
+    /// Build over a prior. Fails only if the prior's masses do not form a
+    /// distribution (cannot happen for a validated [`Prior`]).
+    pub fn new(prior: &Prior) -> Result<Self> {
         let probs: Vec<f64> = (0..prior.len()).map(|x| prior.mass(x)).collect();
-        Self { strategy: Strategy::new(probs).expect("prior is a distribution") }
+        Ok(Self { strategy: Strategy::new(probs)? })
     }
 }
 
 impl SearchPlan for ProportionalPlan {
-    fn round(&mut self, _t: usize) -> Strategy {
-        self.strategy.clone()
+    fn round(&mut self, _t: usize) -> Result<Strategy> {
+        Ok(self.strategy.clone())
     }
 
     fn name(&self) -> String {
@@ -70,8 +72,8 @@ impl SweepPlan {
 }
 
 impl SearchPlan for SweepPlan {
-    fn round(&mut self, t: usize) -> Strategy {
-        Strategy::delta(self.m, t % self.m).expect("index in range")
+    fn round(&mut self, t: usize) -> Result<Strategy> {
+        Strategy::delta(self.m, t % self.m)
     }
 
     fn name(&self) -> String {
@@ -86,7 +88,7 @@ mod tests {
     #[test]
     fn uniform_plan_rounds() {
         let mut plan = UniformPlan::new(4);
-        let r = plan.round(0);
+        let r = plan.round(0).unwrap();
         assert_eq!(r.probs(), &[0.25; 4]);
         assert_eq!(plan.name(), "uniform");
     }
@@ -94,8 +96,8 @@ mod tests {
     #[test]
     fn proportional_plan_matches_prior() {
         let prior = Prior::from_weights(vec![3.0, 1.0]).unwrap();
-        let mut plan = ProportionalPlan::new(&prior);
-        let r = plan.round(5);
+        let mut plan = ProportionalPlan::new(&prior).unwrap();
+        let r = plan.round(5).unwrap();
         assert!((r.prob(0) - 0.75).abs() < 1e-12);
         assert_eq!(plan.name(), "prior-proportional");
     }
@@ -103,9 +105,9 @@ mod tests {
     #[test]
     fn sweep_plan_cycles() {
         let mut plan = SweepPlan::new(3);
-        assert_eq!(plan.round(0).prob(0), 1.0);
-        assert_eq!(plan.round(1).prob(1), 1.0);
-        assert_eq!(plan.round(3).prob(0), 1.0);
+        assert_eq!(plan.round(0).unwrap().prob(0), 1.0);
+        assert_eq!(plan.round(1).unwrap().prob(1), 1.0);
+        assert_eq!(plan.round(3).unwrap().prob(0), 1.0);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub fn evaluate_plan(
     let mut found_total = 0.0;
     let mut success_by_round = Vec::with_capacity(max_rounds);
     for t in 0..max_rounds {
-        let p = plan.round(t);
+        let p = plan.round(t)?;
         if p.len() != m {
             return Err(Error::DimensionMismatch { strategy: p.len(), profile: m });
         }
@@ -97,7 +97,7 @@ pub fn simulate_detection_time<R: Rng + ?Sized>(
     // Pre-sample round strategies once (plans are outcome-oblivious).
     let mut samplers = Vec::with_capacity(max_rounds);
     for t in 0..max_rounds {
-        let p = plan.round(t);
+        let p = plan.round(t)?;
         if p.len() != m {
             return Err(Error::DimensionMismatch { strategy: p.len(), profile: m });
         }
@@ -143,7 +143,7 @@ pub fn simulate_detection_time_with_memory<R: Rng + ?Sized>(
     let m = prior.len();
     let mut rounds = Vec::with_capacity(max_rounds);
     for t in 0..max_rounds {
-        let p = plan.round(t);
+        let p = plan.round(t)?;
         if p.len() != m {
             return Err(Error::DimensionMismatch { strategy: p.len(), profile: m });
         }
@@ -275,7 +275,7 @@ mod tests {
         let prior = Prior::zipf(15, 1.5).unwrap();
         let k = 2;
         let mut astar = IteratedSigmaStar::new(&prior, k).unwrap();
-        let mut prop = ProportionalPlan::new(&prior);
+        let mut prop = ProportionalPlan::new(&prior).unwrap();
         let a = evaluate_plan(&mut astar, &prior, k, 300).unwrap();
         let p = evaluate_plan(&mut prop, &prior, k, 300).unwrap();
         assert!(

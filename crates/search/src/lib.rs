@@ -11,6 +11,12 @@
 //! σ⋆, the property the paper uses); [`baselines`] supplies uniform,
 //! prior-proportional, and deterministic-sweep comparators; [`game`]
 //! evaluates plans analytically and by Monte Carlo.
+//!
+//! The crate also hosts the *mechanism-space* search: [`mech_space`]
+//! defines parameterized congestion families as subdividable parameter
+//! boxes, and [`parallel`] runs a shared-tree, wave-synchronous best-first
+//! search over them (virtual-loss diversified, `GBatch`-tiled, bit-
+//! deterministic at any thread count).
 
 #![warn(missing_docs)]
 
@@ -18,6 +24,8 @@ pub mod analysis;
 pub mod astar;
 pub mod baselines;
 pub mod game;
+pub mod mech_space;
+pub mod parallel;
 pub mod plan;
 pub mod prior;
 
@@ -29,6 +37,10 @@ pub mod prelude {
     pub use crate::game::{
         evaluate_plan, simulate_detection_time, simulate_detection_time_with_memory,
         SearchEvaluation,
+    };
+    pub use crate::mech_space::{root_boxes, MechFamily, MechPoint, ParamBox};
+    pub use crate::parallel::{
+        search_mechanisms, Certificate, Objective, SearchConfig, SearchOutcome,
     };
     pub use crate::plan::{SchedulePlan, SearchPlan};
     pub use crate::prior::Prior;

@@ -7,13 +7,15 @@
 //! — exactly the symmetric-strategy restriction of the dispersal game).
 
 use dispersal_core::strategy::Strategy;
+use dispersal_core::Result;
 
 /// A (possibly adaptive) plan assigning a sampling distribution to every
 /// round. Plans observe only *time*, not outcomes: the searchers learn
 /// nothing before the treasure is found, matching the model of \[24\].
 pub trait SearchPlan {
-    /// The distribution for round `t` (0-based).
-    fn round(&mut self, t: usize) -> Strategy;
+    /// The distribution for round `t` (0-based). Fallible: adaptive plans
+    /// (e.g. iterated σ⋆) recompute posteriors whose validation can fail.
+    fn round(&mut self, t: usize) -> Result<Strategy>;
 
     /// Human-readable name for reports.
     fn name(&self) -> String;
@@ -46,8 +48,8 @@ impl SchedulePlan {
 }
 
 impl SearchPlan for SchedulePlan {
-    fn round(&mut self, t: usize) -> Strategy {
-        self.rounds[t.min(self.rounds.len() - 1)].clone()
+    fn round(&mut self, t: usize) -> Result<Strategy> {
+        Ok(self.rounds[t.min(self.rounds.len() - 1)].clone())
     }
 
     fn name(&self) -> String {
@@ -64,9 +66,9 @@ mod tests {
         let a = Strategy::delta(2, 0).unwrap();
         let b = Strategy::delta(2, 1).unwrap();
         let mut plan = SchedulePlan::new("test", vec![a.clone(), b.clone()]);
-        assert_eq!(plan.round(0), a);
-        assert_eq!(plan.round(1), b);
-        assert_eq!(plan.round(7), b);
+        assert_eq!(plan.round(0).unwrap(), a);
+        assert_eq!(plan.round(1).unwrap(), b);
+        assert_eq!(plan.round(7).unwrap(), b);
         assert_eq!(plan.name(), "test");
         assert_eq!(plan.len(), 2);
         assert!(!plan.is_empty());

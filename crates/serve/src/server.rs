@@ -57,6 +57,15 @@ pub struct ServerConfig {
     pub batch_window: Duration,
     /// Maximum requests drained into one admission batch.
     pub max_batch: usize,
+    /// Longest request line accepted, in bytes. Longer lines are consumed
+    /// and discarded without buffering (bounded memory) and answered with
+    /// a protocol-level error; the connection stays open and the stream
+    /// stays line-synchronized.
+    pub max_line_bytes: usize,
+    /// Idle read timeout: a connection that sends no bytes for this long
+    /// is closed, releasing its reader thread. `None` (or a zero
+    /// duration) disables the timeout.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +74,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             batch_window: Duration::from_millis(2),
             max_batch: 256,
+            max_line_bytes: 1 << 20,
+            read_timeout: Some(Duration::from_secs(120)),
         }
     }
 }
@@ -276,6 +287,9 @@ fn spawn_tcp_reader(inner: &Arc<Inner>, stream: TcpStream) {
     // algorithm holds them hostage to the peer's delayed ACKs (tens of
     // milliseconds per round trip on a persistent connection).
     let _ = stream.set_nodelay(true);
+    if let Some(timeout) = inner.config.read_timeout.filter(|t| !t.is_zero()) {
+        let _ = stream.set_read_timeout(Some(timeout));
+    }
     let Ok(write_half) = stream.try_clone() else { return };
     let writer: SharedWriter = Arc::new(Mutex::new(Box::new(write_half)));
     let inner = Arc::clone(inner);
@@ -284,6 +298,9 @@ fn spawn_tcp_reader(inner: &Arc<Inner>, stream: TcpStream) {
 
 #[cfg(unix)]
 fn spawn_unix_reader(inner: &Arc<Inner>, stream: UnixStream) {
+    if let Some(timeout) = inner.config.read_timeout.filter(|t| !t.is_zero()) {
+        let _ = stream.set_read_timeout(Some(timeout));
+    }
     let Ok(write_half) = stream.try_clone() else { return };
     let writer: SharedWriter = Arc::new(Mutex::new(Box::new(write_half)));
     let inner = Arc::clone(inner);
@@ -298,28 +315,115 @@ fn write_line(writer: &SharedWriter, line: &str) {
     }
 }
 
-fn read_requests<R: Read>(inner: &Arc<Inner>, reader: BufReader<R>, writer: SharedWriter) {
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line (newline and any trailing `\r` stripped).
+    Line(String),
+    /// The line exceeded the cap; `discarded` bytes beyond it were
+    /// consumed and thrown away to keep the stream line-synchronized.
+    TooLong { discarded: usize },
+    /// End of stream (or an unrecoverable read error).
+    Eof,
+    /// The socket's read timeout elapsed (idle connection).
+    TimedOut,
+}
+
+/// Read one `\n`-terminated line while retaining at most `max` bytes:
+/// an attacker streaming an unterminated line costs `max` bytes of
+/// buffer, not unbounded memory as with `BufRead::lines`/`read_line`.
+/// A terminal unterminated fragment still counts as a line (parity with
+/// `BufRead::lines`).
+fn read_bounded_line<R: Read>(reader: &mut BufReader<R>, max: usize) -> LineRead {
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarded = 0usize;
+    loop {
+        let (consumed, terminated) = {
+            let buf = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return LineRead::TimedOut;
+                }
+                Err(_) => return LineRead::Eof,
+            };
+            if buf.is_empty() {
+                return if discarded > 0 {
+                    LineRead::TooLong { discarded }
+                } else if line.is_empty() {
+                    LineRead::Eof
+                } else {
+                    finish_line(line)
+                };
+            }
+            let newline = buf.iter().position(|&b| b == b'\n');
+            let content = newline.unwrap_or(buf.len());
+            let keep = content.min(max.saturating_sub(line.len()));
+            if keep > 0 {
+                line.extend_from_slice(&buf[..keep]);
+            }
+            discarded += content - keep;
+            (newline.map_or(buf.len(), |i| i + 1), newline.is_some())
+        };
+        reader.consume(consumed);
+        if terminated {
+            return if discarded > 0 { LineRead::TooLong { discarded } } else { finish_line(line) };
         }
-        inner.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let (id, parsed) = protocol::parse_line(&line);
-        match parsed {
-            Err(message) => {
-                // Malformed requests are answered straight from the
-                // reader thread — they carry no work to batch.
+    }
+}
+
+fn finish_line(mut line: Vec<u8>) -> LineRead {
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    match String::from_utf8(line) {
+        Ok(text) => LineRead::Line(text),
+        // Invalid UTF-8 closed the connection under `lines()` too.
+        Err(_) => LineRead::Eof,
+    }
+}
+
+fn read_requests<R: Read>(inner: &Arc<Inner>, mut reader: BufReader<R>, writer: SharedWriter) {
+    let max_line = inner.config.max_line_bytes.max(1);
+    loop {
+        match read_bounded_line(&mut reader, max_line) {
+            LineRead::Eof | LineRead::TimedOut => break,
+            LineRead::TooLong { discarded } => {
+                // Protocol-level error: the peer learns its request was
+                // dropped and the connection stays usable.
+                inner.counters.requests.fetch_add(1, Ordering::Relaxed);
                 inner.counters.errors.fetch_add(1, Ordering::Relaxed);
                 inner.counters.replies.fetch_add(1, Ordering::Relaxed);
-                write_line(&writer, &protocol::err_reply(id, &message));
+                let message = format!(
+                    "request line exceeds the {max_line}-byte limit \
+                     ({discarded} excess bytes discarded)"
+                );
+                write_line(&writer, &protocol::err_reply(0, &message));
             }
-            Ok(request) => {
-                let pending = Pending { id, request, writer: Arc::clone(&writer) };
-                if let Ok(mut queue) = inner.queue.lock() {
-                    queue.push_back(pending);
+            LineRead::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
                 }
-                inner.arrivals.notify_all();
+                inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+                let (id, parsed) = protocol::parse_line(&line);
+                match parsed {
+                    Err(message) => {
+                        // Malformed requests are answered straight from the
+                        // reader thread — they carry no work to batch.
+                        inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        inner.counters.replies.fetch_add(1, Ordering::Relaxed);
+                        write_line(&writer, &protocol::err_reply(id, &message));
+                    }
+                    Ok(request) => {
+                        let pending = Pending { id, request, writer: Arc::clone(&writer) };
+                        if let Ok(mut queue) = inner.queue.lock() {
+                            queue.push_back(pending);
+                        }
+                        inner.arrivals.notify_all();
+                    }
+                }
             }
         }
     }

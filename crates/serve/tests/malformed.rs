@@ -1,0 +1,120 @@
+//! Malformed-input robustness: the daemon must answer garbage with a
+//! protocol-level error object — never a panic, never a dropped
+//! connection (except where dropping is the *point*: oversized lines are
+//! refused in place, silent connections are reaped by the idle timeout).
+
+use dispersal_serve::client::Client;
+use dispersal_serve::server::{Server, ServerConfig};
+use std::io::Read;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn bounded_server(max_line_bytes: usize) -> Server {
+    Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_line_bytes,
+        ..ServerConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn oversized_line_is_refused_but_the_connection_survives() {
+    // Regression for the unbounded `read_line`: before the line cap, a
+    // client could stream an arbitrarily long line into server memory —
+    // and an oversized *valid* request was simply answered. With
+    // `max_line_bytes` set, the same request must get a protocol error
+    // naming the limit, and the connection must stay usable.
+    let server = bounded_server(1024);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let request = r#"{"id":7,"cmd":"response","policy":"sharing","k":4,"resolution":8}"#;
+    let oversized = format!("{}{request}", " ".repeat(4096));
+    let raw = client.call(&oversized).unwrap();
+    assert!(raw.contains("\"ok\":false"), "oversized line must be refused: {raw}");
+    assert!(raw.contains("limit"), "the error should name the byte limit: {raw}");
+
+    // Same connection, normal-sized request: still served.
+    let result = client.request(request).unwrap();
+    let text = format!("{result:?}");
+    assert!(text.contains("g"), "connection must survive the refusal: {text}");
+
+    let metrics = server.metrics();
+    assert!(metrics.errors >= 1, "the refusal must be counted: {metrics:?}");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_line_discard_is_bounded_not_buffered() {
+    // The refused line's excess bytes are discarded in chunks, not
+    // accumulated: a multi-megabyte line on a 256-byte budget comes back
+    // with an error naming the discarded excess.
+    let server = bounded_server(256);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let huge = "x".repeat(2 * 1024 * 1024);
+    let raw = client.call(&huge).unwrap();
+    assert!(raw.contains("\"ok\":false"), "huge line must be refused: {raw}");
+    assert!(raw.contains("excess"), "the reply should report discarded bytes: {raw}");
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_by_the_read_timeout() {
+    // Regression for the missing idle timeout: a client that connects
+    // and sends nothing used to pin its reader thread forever. With
+    // `read_timeout` set, the server closes the socket (client sees EOF).
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        read_timeout: Some(Duration::from_millis(200)),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let start = Instant::now();
+    let mut buf = [0u8; 16];
+    let n = stream.read(&mut buf).unwrap();
+    assert_eq!(n, 0, "server must close the idle connection (EOF), got {n} bytes");
+    assert!(
+        start.elapsed() < Duration::from_secs(8),
+        "idle reap took {:?} — timeout not applied?",
+        start.elapsed()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_answer_in_place_without_panicking() {
+    let server = bounded_server(1 << 20);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Truncated JSON.
+    let raw = client.call(r#"{"id":1,"cmd":"respo"#).unwrap();
+    assert!(raw.contains("\"ok\":false"), "truncated JSON: {raw}");
+    // Non-finite numeric literal (JSON has no NaN) — parse error, not a
+    // crash.
+    let raw =
+        client.call(r#"{"id":2,"cmd":"response","policy":"sharing","k":4,"tol":NaN}"#).unwrap();
+    assert!(raw.contains("\"ok\":false"), "NaN literal: {raw}");
+    // Unknown command.
+    let err = client.request(r#"{"id":3,"cmd":"warp"}"#).unwrap_err();
+    assert!(err.contains("warp"), "unknown command: {err}");
+    // Non-finite spec arguments are rejected by the typed parsers.
+    let err =
+        client.request(r#"{"id":4,"cmd":"response","policy":"two-level:NaN","k":4}"#).unwrap_err();
+    assert!(err.contains("finite"), "non-finite policy arg: {err}");
+    let err = client
+        .request(r#"{"id":5,"cmd":"equilibrium","policy":"sharing","profile":"zipf:8:inf","k":4}"#)
+        .unwrap_err();
+    assert!(err.contains("non-finite"), "non-finite profile arg: {err}");
+
+    // After all of that, the connection still serves real work.
+    let result = client
+        .request(r#"{"id":6,"cmd":"response","policy":"sharing","k":4,"resolution":8}"#)
+        .unwrap();
+    assert!(format!("{result:?}").contains("g"), "connection must still work: {result:?}");
+
+    let metrics = server.metrics();
+    assert!(metrics.errors >= 5, "each refusal must be counted: {metrics:?}");
+    server.shutdown();
+}

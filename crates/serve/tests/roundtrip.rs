@@ -81,6 +81,7 @@ fn concurrent_response_burst_is_bit_identical_and_coalesced() {
         // one admission batch even on a loaded CI box.
         batch_window: Duration::from_millis(50),
         max_batch: 256,
+        ..ServerConfig::default()
     })
     .unwrap();
     let addr = server.addr().to_string();

@@ -21,7 +21,7 @@ fn main() -> Result<()> {
     // The paper's identity: round 1 of the search plan is sigma* of the
     // prior.
     let mut plan = IteratedSigmaStar::new(&prior, drones)?;
-    let round1 = plan.round(0);
+    let round1 = plan.round(0)?;
     let star = sigma_star(prior.profile(), drones)?;
     assert!(round1.linf_distance(&star.strategy)? < 1e-12);
     println!(
@@ -42,7 +42,7 @@ fn main() -> Result<()> {
         "uniform dispatch".into(),
         evaluate_plan(&mut uniform, &prior, drones, horizon)?.expected_rounds,
     ));
-    let mut proportional = ProportionalPlan::new(&prior);
+    let mut proportional = ProportionalPlan::new(&prior)?;
     results.push((
         "prior-matching dispatch".into(),
         evaluate_plan(&mut proportional, &prior, drones, horizon)?.expected_rounds,

@@ -56,7 +56,7 @@ fn search_round_one_identity_across_priors() {
         (Prior::uniform(7).unwrap(), 5),
     ] {
         let mut plan = IteratedSigmaStar::new(&prior, k).unwrap();
-        let round1 = plan.round(0);
+        let round1 = plan.round(0).unwrap();
         let star = sigma_star(prior.profile(), k).unwrap().strategy;
         assert!(round1.linf_distance(&star).unwrap() < 1e-12);
     }

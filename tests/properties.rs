@@ -140,7 +140,7 @@ proptest! {
     fn search_plan_round_one_identity(values in value_vec(), k in 1usize..=6) {
         let prior = Prior::from_weights(values).unwrap();
         let mut plan = IteratedSigmaStar::new(&prior, k).unwrap();
-        let round1 = plan.round(0);
+        let round1 = plan.round(0).unwrap();
         let star = sigma_star(prior.profile(), k).unwrap().strategy;
         prop_assert!(round1.linf_distance(&star).unwrap() < 1e-10);
     }
