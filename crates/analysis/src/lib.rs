@@ -38,7 +38,8 @@
 //!   trajectory can regress unguarded. Trajectories with named per-lane
 //!   floors ([`REQUIRED_GUARD_LABELS`]: the engine pool-reuse floor, the
 //!   batch AVX2-vs-scalar floor, the serve admission-batching floor, the
-//!   search batched-expansion floor)
+//!   search batched-expansion floor, the kernel fused-path and
+//!   nonuniform-grid-build floors)
 //!   must keep those labels in their guard — deleting a floor is a lint
 //!   failure, not a silent coverage loss.
 //!
@@ -654,11 +655,12 @@ pub struct BenchGuardInput {
 /// gemm-vs-loop floor keeps the guard "present"); pinning the guard
 /// labels here makes that a lint failure. Labels are the exact strings
 /// passed to `guard::check_speedup` / `guard::check_overhead`.
-pub const REQUIRED_GUARD_LABELS: [(&str, &[&str]); 4] = [
+pub const REQUIRED_GUARD_LABELS: [(&str, &[&str]); 5] = [
     ("batch", &["batch gemm_speedup", "batch gbatch_gemm avx2-vs-scalar"]),
     ("engine", &["engine pool_overhead", "engine pool_reuse dispatch-vs-respawn"]),
     ("serve", &["serve admission-batch-vs-sequential"]),
     ("search", &["search batched-vs-sequential-expansion"]),
+    ("kernel", &["kernel fused_speedup k=64", "kernel nonuniform-vs-uniform-grid-build"]),
 ];
 
 /// Check that every recorded bench trajectory has a quick guard wired
@@ -1128,7 +1130,12 @@ let lt: &'static str = unrelated;"##;
     fn guarded_trajectory_is_clean() {
         let v = lint_bench_guards(&[guard_input(
             "kernel",
-            Some("if guard::quick_mode() { … } criterion_main!(benches);"),
+            Some(
+                "if guard::quick_mode() { \
+                 check_speedup(\"kernel fused_speedup k=64\", a, b); \
+                 check_speedup(\"kernel nonuniform-vs-uniform-grid-build\", c, d); } \
+                 criterion_main!(benches);",
+            ),
             "run: cargo bench -p dispersal-bench --bench kernel -- --quick",
         )]);
         assert!(v.is_empty(), "{v:?}");

@@ -16,7 +16,7 @@
 //!   within a measured 1e-12 error bound.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
-use dispersal_core::kernel::GTable;
+use dispersal_core::kernel::{GTable, GridSpec};
 use dispersal_core::payoff::PayoffContext;
 use dispersal_core::policy::Sharing;
 
@@ -68,9 +68,15 @@ fn bench_g_grid(c: &mut Criterion) {
     group.finish();
 }
 
-/// CI guard mode (`-- --quick`): scalar reference vs the fused kernel at
-/// `k = 64` over the same 1024-point grid; fails the process if
-/// `fused_speedup` has regressed below 1.
+/// CI guard mode (`-- --quick`): two floors, both required by the
+/// analysis lint's `REQUIRED_GUARD_LABELS`:
+///
+/// * scalar reference vs the fused kernel at `k = 64` over the 1024-point
+///   grid (`fused_speedup` must stay above 1);
+/// * adaptive non-uniform grid build vs the uniform cell-doubling build
+///   at `k = 2048`, `tol = 1e-7` — the large-`k` regime where the uniform
+///   build burns tens of thousands of `O(k)` node evaluations resolving
+///   the boundary layer while adaptive bisection places a few hundred.
 fn quick_guard() -> ! {
     use dispersal_bench::guard;
     let qs = qs();
@@ -88,7 +94,27 @@ fn quick_guard() -> ! {
         table.eval_fused_many_into(black_box(&qs), &mut out).unwrap();
         black_box(out[GRID / 2]);
     });
-    guard::finish(guard::check_speedup("kernel fused_speedup k=64", scalar, fused))
+    let fused_ok = guard::check_speedup("kernel fused_speedup k=64", scalar, fused);
+
+    const BUILD_K: usize = 2048;
+    const BUILD_TOL: f64 = 1e-7;
+    let uniform = guard::time_per_call(3, || {
+        let t = GTable::new(&Sharing, BUILD_K)
+            .unwrap()
+            .with_spec(GridSpec::Interpolated { tol: BUILD_TOL })
+            .unwrap();
+        black_box(t.grid_cells());
+    });
+    let adaptive = guard::time_per_call(3, || {
+        let t = GTable::new(&Sharing, BUILD_K)
+            .unwrap()
+            .with_spec(GridSpec::NonUniform { tol: BUILD_TOL })
+            .unwrap();
+        black_box(t.grid_cells());
+    });
+    let build_ok =
+        guard::check_speedup("kernel nonuniform-vs-uniform-grid-build", uniform, adaptive);
+    guard::finish(fused_ok && build_ok)
 }
 
 criterion_group!(benches, bench_g_grid);

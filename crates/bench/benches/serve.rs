@@ -14,7 +14,7 @@
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use dispersal_core::policy::{Congestion, PowerLaw};
-use dispersal_serve::batch::{eval_exact_tile, group_qs};
+use dispersal_serve::batch::eval_exact_tile;
 
 const K: usize = 64;
 const RESOLUTION: usize = 256;
@@ -26,7 +26,6 @@ fn burst_policies(count: usize) -> Vec<PowerLaw> {
 }
 
 fn bench_serve(c: &mut Criterion) {
-    let qs = group_qs(RESOLUTION);
     let mut group = c.benchmark_group("serve_admission");
     group.sample_size(10);
     for &n in &[4usize, 16, 64] {
@@ -35,12 +34,12 @@ fn bench_serve(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
             b.iter(|| {
                 for policy in &refs {
-                    black_box(eval_exact_tile(&[*policy], K, black_box(&qs)).unwrap());
+                    black_box(eval_exact_tile(&[*policy], K, black_box(RESOLUTION)).unwrap());
                 }
             })
         });
         group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
-            b.iter(|| black_box(eval_exact_tile(&refs, K, black_box(&qs)).unwrap()))
+            b.iter(|| black_box(eval_exact_tile(&refs, K, black_box(RESOLUTION)).unwrap()))
         });
     }
     group.finish();
@@ -53,16 +52,15 @@ fn bench_serve(c: &mut Criterion) {
 /// exist.
 fn quick_guard() -> ! {
     use dispersal_bench::guard;
-    let qs = group_qs(RESOLUTION);
     let burst = burst_policies(16);
     let refs: Vec<&dyn Congestion> = burst.iter().map(|p| p as &dyn Congestion).collect();
     let sequential_time = guard::time_per_call(10, || {
         for policy in &refs {
-            black_box(eval_exact_tile(&[*policy], K, black_box(&qs)).unwrap());
+            black_box(eval_exact_tile(&[*policy], K, black_box(RESOLUTION)).unwrap());
         }
     });
     let batched_time = guard::time_per_call(10, || {
-        black_box(eval_exact_tile(&refs, K, black_box(&qs)).unwrap());
+        black_box(eval_exact_tile(&refs, K, black_box(RESOLUTION)).unwrap());
     });
     let ok =
         guard::check_speedup("serve admission-batch-vs-sequential", sequential_time, batched_time);

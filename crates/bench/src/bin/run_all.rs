@@ -71,6 +71,8 @@ fn main() -> ExitCode {
         "exp_extensions",
         "exp_pure",
         "exp_robustness",
+        "exp_scenario",
+        "exp_large_k",
     ];
     let exe = match std::env::current_exe() {
         Ok(path) => path,

@@ -96,6 +96,78 @@ pub struct GScratch {
     pmf: Vec<f64>,
 }
 
+/// Grid configuration for `O(1)` interpolated `g`-evaluation — the single
+/// configuration surface shared by [`GTable::with_spec`],
+/// [`crate::payoff::PayoffContext::with_spec`], and the sweep-layer grid
+/// caches. Tolerance validation lives in exactly one place
+/// ([`GridSpec::validate`]); every grid-configuring entry point reports
+/// the same [`Error::InvalidTolerance`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GridSpec {
+    /// No interpolation grid: every evaluation runs the exact `O(k)`
+    /// kernel (and [`GTable::eval_fast_with`] stays bit-identical to the
+    /// scalar reference).
+    Exact,
+    /// Uniform cubic-Hermite grid, refined by cell doubling until the
+    /// midpoint-measured error is at most `tol ×` [`GTable::scale`].
+    Interpolated {
+        /// Relative error bound for the refinement loop.
+        tol: f64,
+    },
+    /// Error-equidistributing non-uniform cubic-Hermite grid: adaptive
+    /// bisection refines where `g` is stiff (the near-exclusive boundary
+    /// layer whose width shrinks like `1/k`) and leaves flat regions
+    /// coarse, so large-`k` builds (`k → 10⁶`) meet `tol` with a few
+    /// hundred nodes instead of the uniform path's `2²⁰`-cell blowup.
+    NonUniform {
+        /// Relative error bound for the subdivision loop.
+        tol: f64,
+    },
+}
+
+impl GridSpec {
+    /// Validate the spec — the one typed tolerance-validation path. A
+    /// non-finite or non-positive tolerance is [`Error::InvalidTolerance`];
+    /// [`GridSpec::Exact`] is always valid.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            GridSpec::Exact => Ok(()),
+            GridSpec::Interpolated { tol } | GridSpec::NonUniform { tol } => {
+                if !(tol.is_finite() && tol > 0.0) {
+                    return Err(Error::InvalidTolerance { tol });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Stable cache-key encoding `(discriminant, tol bits)` so grid caches
+    /// key spec-distinct builds separately (`Exact` keys as `(0, 0)`).
+    pub fn key_bits(&self) -> (u8, u64) {
+        match *self {
+            GridSpec::Exact => (0, 0),
+            GridSpec::Interpolated { tol } => (1, tol.to_bits()),
+            GridSpec::NonUniform { tol } => (2, tol.to_bits()),
+        }
+    }
+}
+
+/// Evaluate the cubic Hermite basis at local coordinate `t ∈ [0, 1]` with
+/// node values `y0, y1` and *pre-scaled* node derivatives `d0, d1`
+/// (already multiplied by the cell width). Shared by the uniform and
+/// non-uniform grids and by the refinement loops, so every path runs the
+/// exact same operation sequence.
+#[inline]
+fn hermite_eval(t: f64, y0: f64, d0: f64, y1: f64, d1: f64) -> f64 {
+    let t2 = t * t;
+    let t3 = t2 * t;
+    let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+    let h10 = t3 - 2.0 * t2 + t;
+    let h01 = -2.0 * t3 + 3.0 * t2;
+    let h11 = t3 - t2;
+    h00 * y0 + h10 * d0 + h01 * y1 + h11 * d1
+}
+
 /// Dense cubic-Hermite interpolation grid over `[0, 1]` (values and
 /// derivatives at `cells + 1` uniform nodes).
 #[derive(Debug, Clone)]
@@ -116,13 +188,71 @@ impl HermiteGrid {
         let h = 1.0 / cells;
         let (y0, y1) = (self.ys[cell], self.ys[cell + 1]);
         let (d0, d1) = (self.ds[cell] * h, self.ds[cell + 1] * h);
-        let t2 = t * t;
-        let t3 = t2 * t;
-        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
-        let h10 = t3 - 2.0 * t2 + t;
-        let h01 = -2.0 * t3 + 3.0 * t2;
-        let h11 = t3 - t2;
-        h00 * y0 + h10 * d0 + h01 * y1 + h11 * d1
+        hermite_eval(t, y0, d0, y1, d1)
+    }
+}
+
+/// Non-uniform cubic-Hermite grid over `[0, 1]`: `xs` holds the ascending
+/// node positions produced by adaptive bisection, with exact values and
+/// derivatives at every node. Cell lookup is a binary search.
+#[derive(Debug, Clone)]
+struct NonUniformGrid {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ds: Vec<f64>,
+    measured_error: f64,
+}
+
+impl NonUniformGrid {
+    /// Evaluate the interpolant at `q ∈ [0, 1]`.
+    fn eval(&self, q: f64) -> f64 {
+        let last = self.xs.len() - 2;
+        let cell = match self.xs.binary_search_by(|x| x.total_cmp(&q)) {
+            Ok(i) => i.min(last),
+            Err(i) => i.saturating_sub(1).min(last),
+        };
+        let h = self.xs[cell + 1] - self.xs[cell];
+        let t = (q - self.xs[cell]) / h;
+        let (y0, y1) = (self.ys[cell], self.ys[cell + 1]);
+        let (d0, d1) = (self.ds[cell] * h, self.ds[cell + 1] * h);
+        hermite_eval(t, y0, d0, y1, d1)
+    }
+
+    /// Number of cells (`nodes − 1`).
+    fn cells(&self) -> usize {
+        self.xs.len() - 1
+    }
+}
+
+/// The grid actually attached to a [`GTable`] — uniform (the
+/// [`GridSpec::Interpolated`] build) or non-uniform
+/// ([`GridSpec::NonUniform`]).
+#[derive(Debug, Clone)]
+enum GridKind {
+    Uniform(HermiteGrid),
+    NonUniform(NonUniformGrid),
+}
+
+impl GridKind {
+    fn eval(&self, q: f64) -> f64 {
+        match self {
+            GridKind::Uniform(g) => g.eval(q),
+            GridKind::NonUniform(g) => g.eval(q),
+        }
+    }
+
+    fn cells(&self) -> usize {
+        match self {
+            GridKind::Uniform(g) => g.cells,
+            GridKind::NonUniform(g) => g.cells(),
+        }
+    }
+
+    fn measured_error(&self) -> f64 {
+        match self {
+            GridKind::Uniform(g) => g.measured_error,
+            GridKind::NonUniform(g) => g.measured_error,
+        }
     }
 }
 
@@ -159,8 +289,8 @@ pub struct GTable {
     /// Pre-divided downward recurrence factors `(j + 1)/(n − j)` for the
     /// fused path (length `n`).
     down: Vec<f64>,
-    /// Optional dense O(1) interpolation grid.
-    grid: Option<HermiteGrid>,
+    /// Optional dense O(1) interpolation grid (uniform or non-uniform).
+    grid: Option<GridKind>,
 }
 
 /// Fill `out[0..=n]` with the binomial PMF `P[Bin(n, q) = j]` using the
@@ -423,21 +553,54 @@ impl GTable {
         Ok(())
     }
 
-    /// Attach a dense cubic-Hermite grid so [`Self::eval_fast_with`]
-    /// answers in `O(1)` per point. The grid is refined (doubling the
-    /// cell count) until the error *measured at every cell midpoint* —
-    /// where the Hermite error kernel `t²(1−t)²` peaks — is at most
-    /// `tol × `[`Self::scale`]. The tolerance is per-call: sweeps and
-    /// plotting paths typically pass `1e-9` (cheap grids), equivalence
-    /// tests `1e-12`. Rejects non-finite or non-positive tolerances with
-    /// [`Error::InvalidTolerance`]; fails with [`Error::NoConvergence`]
-    /// if 2²⁰ cells cannot meet the bound (at `k ≳ 10⁴` the Hermite
-    /// error floor makes `1e-12` unreachable — use a looser tolerance
-    /// there).
-    pub fn with_grid(mut self, tol: f64) -> Result<Self> {
-        if !(tol.is_finite() && tol > 0.0) {
-            return Err(Error::InvalidTolerance { tol });
+    /// Attach (or detach) an interpolation grid per `spec` — the single
+    /// grid-configuration entry point behind [`GridSpec`]:
+    ///
+    /// * [`GridSpec::Exact`] removes any attached grid;
+    /// * [`GridSpec::Interpolated`] builds the uniform cell-doubling grid
+    ///   (bit-identical to the historical `with_grid(tol)` build);
+    /// * [`GridSpec::NonUniform`] runs adaptive bisection that refines
+    ///   only where the Hermite midpoint error exceeds the bound — the
+    ///   large-`k` path (`k → 10⁶`), where a uniform grid overruns its
+    ///   2²⁰-cell budget resolving a boundary layer of width `O(1/k)`.
+    ///
+    /// Tolerances are validated once, in [`GridSpec::validate`]
+    /// ([`Error::InvalidTolerance`]); a build that cannot meet the bound
+    /// within its budget is [`Error::NoConvergence`].
+    pub fn with_spec(mut self, spec: GridSpec) -> Result<Self> {
+        spec.validate()?;
+        match spec {
+            GridSpec::Exact => {
+                self.grid = None;
+                Ok(self)
+            }
+            GridSpec::Interpolated { tol } => self.build_uniform_grid(tol),
+            GridSpec::NonUniform { tol } => {
+                let grid = self.build_nonuniform_grid(tol)?;
+                self.grid = Some(GridKind::NonUniform(grid));
+                Ok(self)
+            }
         }
+    }
+
+    /// Attach a **uniform** dense cubic-Hermite grid so
+    /// [`Self::eval_fast_with`] answers in `O(1)` per point — shorthand
+    /// for [`Self::with_spec`] with [`GridSpec::Interpolated`]. The grid
+    /// is refined (doubling the cell count) until the error *measured at
+    /// every cell midpoint* — where the Hermite error kernel `t²(1−t)²`
+    /// peaks — is at most `tol × `[`Self::scale`]. The tolerance is
+    /// per-call: sweeps and plotting paths typically pass `1e-9` (cheap
+    /// grids), equivalence tests `1e-12`. Fails with
+    /// [`Error::NoConvergence`] if 2²⁰ cells cannot meet the bound — at
+    /// `k ≳ 10⁴` prefer [`GridSpec::NonUniform`], whose adaptive cells
+    /// resolve the boundary layer without the budget blowup.
+    pub fn with_grid(self, tol: f64) -> Result<Self> {
+        self.with_spec(GridSpec::Interpolated { tol })
+    }
+
+    /// The uniform cell-doubling refinement build behind
+    /// [`GridSpec::Interpolated`] (`tol` already validated).
+    fn build_uniform_grid(mut self, tol: f64) -> Result<Self> {
         let target = tol * self.scale();
         let mut scratch = self.scratch();
         // Start near the analytic requirement h·n ≲ (384·tol)^{1/4} (the
@@ -468,7 +631,7 @@ impl GTable {
                 worst = worst.max(err);
             }
             if worst <= target {
-                self.grid = Some(HermiteGrid { measured_error: worst, ..grid });
+                self.grid = Some(GridKind::Uniform(HermiteGrid { measured_error: worst, ..grid }));
                 return Ok(self);
             }
             if cells >= MAX_CELLS {
@@ -479,6 +642,84 @@ impl GTable {
             }
             cells *= 2;
         }
+    }
+
+    /// The adaptive-bisection build behind [`GridSpec::NonUniform`]
+    /// (`tol` already validated). Deterministic depth-first subdivision:
+    /// each segment is tested at its midpoint against the Hermite
+    /// interpolant through its endpoints; failing segments split in two
+    /// (midpoint values and derivatives are exact kernel evaluations and
+    /// are reused as the children's shared endpoint), passing segments
+    /// emit their left endpoint. The left child is processed first, so
+    /// nodes come out in ascending order without a sort.
+    fn build_nonuniform_grid(&self, tol: f64) -> Result<NonUniformGrid> {
+        /// A pending segment: endpoint positions, exact values, exact
+        /// derivatives.
+        struct Seg {
+            x0: f64,
+            y0: f64,
+            d0: f64,
+            x1: f64,
+            y1: f64,
+            d1: f64,
+        }
+        /// Node budget: a backstop far above any practical build (the
+        /// k = 10⁶ boundary layer needs a few hundred nodes at 1e-9).
+        const MAX_NODES: usize = 1 << 16;
+        /// Narrowest cell the subdivision may produce before declaring
+        /// non-convergence (the error is then round-off-dominated).
+        const MIN_WIDTH: f64 = 1e-12;
+        let target = tol * self.scale();
+        let mut scratch = self.scratch();
+        let y_end = self.eval_with(&mut scratch, 1.0);
+        let d_end = self.eval_prime_with(&mut scratch, 1.0);
+        let mut stack = vec![Seg {
+            x0: 0.0,
+            y0: self.eval_with(&mut scratch, 0.0),
+            d0: self.eval_prime_with(&mut scratch, 0.0),
+            x1: 1.0,
+            y1: y_end,
+            d1: d_end,
+        }];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut ds = Vec::new();
+        let mut worst = 0.0f64;
+        while let Some(seg) = stack.pop() {
+            let h = seg.x1 - seg.x0;
+            let m = 0.5 * (seg.x0 + seg.x1);
+            let ym = self.eval_with(&mut scratch, m);
+            let interp = hermite_eval(0.5, seg.y0, seg.d0 * h, seg.y1, seg.d1 * h);
+            let err = (interp - ym).abs();
+            if err <= target || h <= MIN_WIDTH {
+                if err > target {
+                    return Err(Error::NoConvergence {
+                        what: "non-uniform g-table grid refinement",
+                        residual: err,
+                    });
+                }
+                worst = worst.max(err);
+                xs.push(seg.x0);
+                ys.push(seg.y0);
+                ds.push(seg.d0);
+                if xs.len() > MAX_NODES {
+                    return Err(Error::NoConvergence {
+                        what: "non-uniform g-table grid refinement",
+                        residual: worst,
+                    });
+                }
+            } else {
+                let dm = self.eval_prime_with(&mut scratch, m);
+                // Push right first so the left child pops (and emits)
+                // first — ascending node order by construction.
+                stack.push(Seg { x0: m, y0: ym, d0: dm, x1: seg.x1, y1: seg.y1, d1: seg.d1 });
+                stack.push(Seg { x0: seg.x0, y0: seg.y0, d0: seg.d0, x1: m, y1: ym, d1: dm });
+            }
+        }
+        xs.push(1.0);
+        ys.push(y_end);
+        ds.push(d_end);
+        Ok(NonUniformGrid { xs, ys, ds, measured_error: worst })
     }
 
     /// Whether an interpolation grid is attached.
@@ -492,12 +733,13 @@ impl GTable {
     /// off-midpoint error can exceed it by a small factor (tests budget
     /// 4×).
     pub fn grid_error(&self) -> Option<f64> {
-        self.grid.as_ref().map(|g| g.measured_error)
+        self.grid.as_ref().map(|g| g.measured_error())
     }
 
-    /// Number of grid cells (0 without a grid).
+    /// Number of grid cells (0 without a grid). For a non-uniform grid
+    /// this is the node count minus one.
     pub fn grid_cells(&self) -> usize {
-        self.grid.as_ref().map_or(0, |g| g.cells)
+        self.grid.as_ref().map_or(0, |g| g.cells())
     }
 
     /// `O(1)` interpolated `g(q)` when a grid is attached; falls back to
@@ -1366,6 +1608,133 @@ mod tests {
         let table = GTable::new(&Sharing, 4).unwrap();
         assert!(table.clone().with_grid(0.0).is_err());
         assert!(table.with_grid(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn grid_spec_validation_is_the_single_tolerance_path() {
+        assert!(GridSpec::Exact.validate().is_ok());
+        assert!(GridSpec::Interpolated { tol: 1e-9 }.validate().is_ok());
+        assert!(GridSpec::NonUniform { tol: 1e-9 }.validate().is_ok());
+        for bad in [0.0, -1e-9, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                GridSpec::Interpolated { tol: bad }.validate(),
+                Err(Error::InvalidTolerance { .. })
+            ));
+            assert!(matches!(
+                GridSpec::NonUniform { tol: bad }.validate(),
+                Err(Error::InvalidTolerance { .. })
+            ));
+            // with_spec reports the same typed error without building.
+            let table = GTable::new(&Sharing, 4).unwrap();
+            assert!(matches!(
+                table.with_spec(GridSpec::NonUniform { tol: bad }),
+                Err(Error::InvalidTolerance { .. })
+            ));
+        }
+        assert_eq!(GridSpec::Exact.key_bits(), (0, 0));
+        assert_eq!(GridSpec::Interpolated { tol: 1e-9 }.key_bits(), (1, 1e-9f64.to_bits()));
+        assert_eq!(GridSpec::NonUniform { tol: 1e-9 }.key_bits(), (2, 1e-9f64.to_bits()));
+    }
+
+    #[test]
+    fn with_spec_exact_detaches_and_interpolated_matches_with_grid_bitwise() {
+        let base = GTable::new(&Sharing, 16).unwrap();
+        // Interpolated spec is the same build as the with_grid shorthand.
+        let via_spec = base.clone().with_spec(GridSpec::Interpolated { tol: 1e-10 }).unwrap();
+        let via_grid = base.clone().with_grid(1e-10).unwrap();
+        assert_eq!(via_spec.grid_cells(), via_grid.grid_cells());
+        let mut s1 = via_spec.scratch();
+        let mut s2 = via_grid.scratch();
+        for i in 0..=257 {
+            let q = i as f64 / 257.0;
+            assert_eq!(
+                via_spec.eval_fast_with(&mut s1, q).to_bits(),
+                via_grid.eval_fast_with(&mut s2, q).to_bits()
+            );
+        }
+        // Exact spec detaches the grid and restores the reference path.
+        let detached = via_spec.with_spec(GridSpec::Exact).unwrap();
+        assert!(!detached.has_grid());
+        let mut s3 = detached.scratch();
+        assert_eq!(detached.eval_fast_with(&mut s3, 0.42).to_bits(), base.eval(0.42).to_bits());
+    }
+
+    #[test]
+    fn nonuniform_grid_meets_error_bound_off_midpoint() {
+        for c in [&Exclusive as &dyn Congestion, &Sharing, &TwoLevel { c: -0.4 }] {
+            for k in [2usize, 64, 512] {
+                let tol = 1e-9;
+                let table =
+                    GTable::new(c, k).unwrap().with_spec(GridSpec::NonUniform { tol }).unwrap();
+                assert!(table.has_grid());
+                assert!(table.grid_error().unwrap() <= tol * table.scale());
+                let mut scratch = table.scratch();
+                // Off-midpoint sample points (not used during refinement);
+                // budget the same 4× the uniform grid tests use.
+                for i in 0..400 {
+                    let q = (i as f64 + 0.37) / 400.0;
+                    let exact = table.eval_with(&mut scratch, q);
+                    let interp = table.eval_fast_with(&mut scratch, q);
+                    assert!(
+                        (exact - interp).abs() <= 4.0 * tol * table.scale(),
+                        "{} k={k} q={q}: exact {exact} interp {interp}",
+                        c.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonuniform_grid_is_exact_at_endpoints() {
+        let table = GTable::new(&Exclusive, 128)
+            .unwrap()
+            .with_spec(GridSpec::NonUniform { tol: 1e-9 })
+            .unwrap();
+        let mut s = table.scratch();
+        assert_eq!(table.eval_fast_with(&mut s, 0.0).to_bits(), table.eval(0.0).to_bits());
+        assert_eq!(table.eval_fast_with(&mut s, 1.0).to_bits(), table.eval(1.0).to_bits());
+    }
+
+    #[test]
+    fn nonuniform_grid_is_far_smaller_than_uniform_at_large_k() {
+        // The whole point of the non-uniform build: the exclusive policy's
+        // boundary layer (width ~ 1/k) forces the uniform grid to spend
+        // its doubling budget everywhere, while adaptive bisection spends
+        // nodes only inside the layer.
+        let k = 512;
+        let tol = 1e-9;
+        let uniform = GTable::new(&Exclusive, k).unwrap().with_grid(tol).unwrap();
+        let nonuniform =
+            GTable::new(&Exclusive, k).unwrap().with_spec(GridSpec::NonUniform { tol }).unwrap();
+        assert!(
+            nonuniform.grid_cells() * 8 < uniform.grid_cells(),
+            "nonuniform {} cells vs uniform {}",
+            nonuniform.grid_cells(),
+            uniform.grid_cells()
+        );
+        assert!(nonuniform.grid_error().unwrap() <= tol * nonuniform.scale());
+    }
+
+    #[test]
+    fn nonuniform_build_is_deterministic() {
+        let a = GTable::new(&Sharing, 256)
+            .unwrap()
+            .with_spec(GridSpec::NonUniform { tol: 1e-10 })
+            .unwrap();
+        let b = GTable::new(&Sharing, 256)
+            .unwrap()
+            .with_spec(GridSpec::NonUniform { tol: 1e-10 })
+            .unwrap();
+        assert_eq!(a.grid_cells(), b.grid_cells());
+        let (mut sa, mut sb) = (a.scratch(), b.scratch());
+        for i in 0..=997 {
+            let q = i as f64 / 997.0;
+            assert_eq!(
+                a.eval_fast_with(&mut sa, q).to_bits(),
+                b.eval_fast_with(&mut sb, q).to_bits()
+            );
+        }
     }
 
     #[test]

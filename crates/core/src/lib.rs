@@ -76,7 +76,7 @@ pub mod prelude {
     pub use crate::ess::{check_mutant, invasion_barrier, probe_ess_k, EssReport, MutantVerdict};
     pub use crate::extensions::{capacity_coverage, solve_ifd_with_costs, CostIfd};
     pub use crate::ifd::{solve_ifd, solve_ifd_allow_degenerate, Ifd};
-    pub use crate::kernel::{GScratch, GTable};
+    pub use crate::kernel::{GScratch, GTable, GridSpec};
     pub use crate::optimal::{optimal_coverage, optimal_coverage_gradient, OptimalCoverage};
     pub use crate::payoff::PayoffContext;
     pub use crate::policy::{

@@ -13,7 +13,7 @@
 //! Poisson–binomial law, evaluated exactly by [`crate::numerics`].
 
 use crate::error::{Error, Result};
-use crate::kernel::{GTable, PbCache};
+use crate::kernel::{GTable, GridSpec, PbCache};
 use crate::numerics::{binomial_pmf_vector, kahan_sum};
 use crate::policy::Congestion;
 use crate::strategy::Strategy;
@@ -75,8 +75,18 @@ impl PayoffContext {
     /// stay bit-identical to the scalar reference; with it, results move
     /// by at most a few × `tol` × [`GTable::scale`]. At `k ≳ 10⁴` pass a
     /// loose tolerance (`1e-12` is below the Hermite error floor there).
-    pub fn with_grid(mut self, tol: f64) -> Result<Self> {
-        self.kernel = self.kernel.with_grid(tol)?;
+    pub fn with_grid(self, tol: f64) -> Result<Self> {
+        self.with_spec(GridSpec::Interpolated { tol })
+    }
+
+    /// Attach (or detach) an interpolation grid per `spec` — the
+    /// context-level face of [`GTable::with_spec`], sharing the single
+    /// [`GridSpec`] configuration surface and its one typed tolerance
+    /// validation path. [`GridSpec::NonUniform`] is the `k → 10⁶` entry
+    /// point: adaptive bisection resolves the `O(1/k)` boundary layer with
+    /// a few hundred nodes where the uniform build overruns its budget.
+    pub fn with_spec(mut self, spec: GridSpec) -> Result<Self> {
+        self.kernel = self.kernel.with_spec(spec)?;
         Ok(self)
     }
 

@@ -15,6 +15,7 @@ use dispersal_core::policy::{validate_congestion, Congestion};
 use dispersal_core::value::ValueProfile;
 use dispersal_core::welfare::welfare_optimum;
 use dispersal_core::{Error, Result};
+use dispersal_sim::sweep::ResponseRequest;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -124,13 +125,14 @@ impl CatalogResponse {
     }
 }
 
-/// Evaluate every mechanism of `catalog` over one shared `q`-grid as a
-/// single policy-major [`GBatch`] — each catalog mechanism is one row of
-/// the coefficient matrix, the per-point Bernstein column is computed
-/// once for the whole catalog, and a blocked GEMM finishes all rows
-/// (fused path: ≤ 1e-13 × the coefficient scale from the per-policy
-/// exact tables). The summary [`CatalogResponse::tolerance_score`] ranks
-/// mechanisms by how gracefully their reward degrades with congestion.
+/// Evaluate every mechanism of `catalog` over one shared `q`-grid via the
+/// unified [`ResponseRequest`] API in forced fused mode — each catalog
+/// mechanism is one row of the policy-major coefficient matrix, the
+/// per-point Bernstein column is computed once for the whole catalog,
+/// and a blocked GEMM finishes all rows (fused path: ≤ 1e-13 × the
+/// coefficient scale from the per-policy exact tables). The summary
+/// [`CatalogResponse::tolerance_score`] ranks mechanisms by how
+/// gracefully their reward degrades with congestion.
 pub fn catalog_response_matrix(
     catalog: &[NamedPolicy],
     k: usize,
@@ -138,8 +140,14 @@ pub fn catalog_response_matrix(
 ) -> Result<CatalogResponse> {
     check_catalog_request(catalog, resolution)?;
     let refs: Vec<&dyn Congestion> = catalog.iter().map(|n| n.policy.as_ref()).collect();
-    let batch = GBatch::new(&refs, k)?;
-    finish_catalog_response(catalog, k, resolution, &batch)
+    let curves =
+        ResponseRequest::policies(&refs).ks(&[k]).resolution(resolution).fused().evaluate()?;
+    let qs: Vec<f64> = (0..=resolution).map(|i| i as f64 / resolution as f64).collect();
+    let mut g = Vec::with_capacity(catalog.len() * qs.len());
+    for curve in &curves {
+        g.extend_from_slice(&curve.g);
+    }
+    score_catalog_response(catalog, k, resolution, qs, g)
 }
 
 /// [`catalog_response_matrix`] through a warm [`ResponseCache`]: the
@@ -157,7 +165,9 @@ pub fn catalog_response_matrix_cached(
 ) -> Result<CatalogResponse> {
     check_catalog_request(catalog, resolution)?;
     let batch = cache.batch(catalog, k)?;
-    finish_catalog_response(catalog, k, resolution, &batch)
+    let qs: Vec<f64> = (0..=resolution).map(|i| i as f64 / resolution as f64).collect();
+    let g = batch.eval_grid(&qs);
+    score_catalog_response(catalog, k, resolution, qs, g)
 }
 
 /// Shared argument validation for the catalog-response entry points.
@@ -171,15 +181,16 @@ fn check_catalog_request(catalog: &[NamedPolicy], resolution: usize) -> Result<(
     Ok(())
 }
 
-/// Grid evaluation + trapezoid scoring over an already-built tile.
-fn finish_catalog_response(
+/// Trapezoid scoring over an already-evaluated policy-major matrix. Both
+/// entry points land here with the same fused-path bits, so cached and
+/// uncached scans stay bit-identical.
+fn score_catalog_response(
     catalog: &[NamedPolicy],
     k: usize,
     resolution: usize,
-    batch: &GBatch,
+    qs: Vec<f64>,
+    g: Vec<f64>,
 ) -> Result<CatalogResponse> {
-    let qs: Vec<f64> = (0..=resolution).map(|i| i as f64 / resolution as f64).collect();
-    let g = batch.eval_grid(&qs);
     let h = 1.0 / resolution as f64;
     let tolerance_score = (0..catalog.len())
         .map(|r| {

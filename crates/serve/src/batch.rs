@@ -1,5 +1,6 @@
 //! Admission batching: coalesce concurrent response requests that share
-//! `(k, tol, resolution)` into one policy-major [`GBatch`] tile.
+//! `(k, tol, resolution)` into one policy-major
+//! [`GBatch`](dispersal_core::kernel::GBatch) tile.
 //!
 //! This is the daemon's key scaling move (the worker/batch-capacity
 //! pattern of holmes' `ParallelMonteCarloSearchServer`): N requests that
@@ -9,19 +10,21 @@
 //! instead of once per request — and the results are demultiplexed back
 //! to their requesters row by row.
 //!
-//! Determinism: exact groups run [`GBatch::eval_many_with`], whose output
-//! is **bit-identical per row** to the per-policy [`GTable`] reference
+//! Determinism: exact groups run
+//! [`GBatch::eval_many_with`](dispersal_core::kernel::GBatch::eval_many_with),
+//! whose output is **bit-identical per row** to the per-policy
+//! [`GTable`](dispersal_core::kernel::GTable) reference
 //! path *regardless of batch composition* — so whether a request was
 //! answered alone, grouped with 3 strangers, or grouped with 63, its
-//! curve bits are the same, and equal to a direct
-//! `sweep::response_grid` library call. Interpolated groups share warm
+//! curve bits are the same, and equal to a direct reference-mode
+//! `sweep::ResponseRequest` library call. Interpolated groups share warm
 //! [`SharedGridCache`] grids, which likewise changes only who builds a
 //! grid, never its values.
 
-use dispersal_core::kernel::{GBatch, GTable};
+use dispersal_core::kernel::GridSpec;
 use dispersal_core::policy::Congestion;
 use dispersal_core::Result;
-use dispersal_sim::sweep::SharedGridCache;
+use dispersal_sim::sweep::{ResponseRequest, SharedGridCache};
 use std::collections::BTreeMap;
 
 /// One response request, reduced to its batching-relevant shape.
@@ -69,44 +72,43 @@ pub fn group_qs(resolution: usize) -> Vec<f64> {
     (0..=resolution).map(|i| i as f64 / resolution as f64).collect()
 }
 
-/// Evaluate an **exact** group as one [`GBatch`] reference-mode tile:
-/// one row per policy, one shared Bernstein column per grid point.
-/// Returns each policy's curve in input order; every curve is
-/// bit-identical to a stand-alone `GTable::eval_with` walk of the same
-/// points, whatever the group composition.
+/// Evaluate an **exact** group as one reference-mode tile through the
+/// unified [`ResponseRequest`] API (`.reference()` forces the per-row
+/// `GBatch::eval_many_with` path). Returns each policy's curve in input
+/// order; every curve is bit-identical to a stand-alone
+/// `GTable::eval_with` walk of the same points, whatever the group
+/// composition.
 pub fn eval_exact_tile(
     policies: &[&dyn Congestion],
     k: usize,
-    qs: &[f64],
+    resolution: usize,
 ) -> Result<Vec<Vec<f64>>> {
-    let batch = GBatch::new(policies, k)?;
-    let mut scratch = batch.scratch();
-    let mut flat = vec![0.0; batch.rows() * qs.len()];
-    batch.eval_many_with(&mut scratch, qs, &mut flat)?;
-    Ok((0..policies.len()).map(|r| flat[r * qs.len()..(r + 1) * qs.len()].to_vec()).collect())
+    let curves = ResponseRequest::policies(policies)
+        .ks(&[k])
+        .resolution(resolution)
+        .reference()
+        .evaluate()?;
+    Ok(curves.into_iter().map(|curve| curve.g).collect())
 }
 
-/// Evaluate an **interpolated** group against the shared grid cache:
-/// each policy's `O(1)`-per-point grid is pulled from (or built into)
-/// `cache`, so a warm daemon answers the whole group without a single
-/// refinement pass.
+/// Evaluate an **interpolated** group through the unified
+/// [`ResponseRequest`] API against the shared grid cache: each policy's
+/// `O(1)`-per-point grid is pulled from (or built into) `cache`, so a
+/// warm daemon answers the whole group without a single refinement pass.
 pub fn eval_interp_tile(
     policies: &[&dyn Congestion],
     k: usize,
-    qs: &[f64],
+    resolution: usize,
     tol: f64,
     cache: &SharedGridCache,
 ) -> Result<Vec<Vec<f64>>> {
-    policies
-        .iter()
-        .map(|c| {
-            let table: std::sync::Arc<GTable> = cache.table(*c, k, tol)?;
-            let mut scratch = table.scratch();
-            let mut g = vec![0.0; qs.len()];
-            table.eval_fast_many_with(&mut scratch, qs, &mut g)?;
-            Ok(g)
-        })
-        .collect()
+    let curves = ResponseRequest::policies(policies)
+        .ks(&[k])
+        .resolution(resolution)
+        .grid(GridSpec::Interpolated { tol })
+        .cache(cache)
+        .evaluate()?;
+    Ok(curves.into_iter().map(|curve| curve.g).collect())
 }
 
 #[cfg(test)]
@@ -137,12 +139,11 @@ mod tests {
 
     #[test]
     fn exact_tile_is_bit_identical_per_row_regardless_of_company() {
-        let qs = group_qs(64);
         let policies: Vec<&dyn Congestion> =
             vec![&Sharing, &TwoLevel { c: -0.3 }, &PowerLaw { beta: 2.0 }];
-        let grouped = eval_exact_tile(&policies, 16, &qs).unwrap();
+        let grouped = eval_exact_tile(&policies, 16, 64).unwrap();
         for (r, c) in policies.iter().enumerate() {
-            let alone = eval_exact_tile(&[*c], 16, &qs).unwrap();
+            let alone = eval_exact_tile(&[*c], 16, 64).unwrap();
             for (a, b) in grouped[r].iter().zip(alone[0].iter()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "row {r} diverged under batching");
             }
@@ -151,12 +152,11 @@ mod tests {
 
     #[test]
     fn interp_tile_warms_and_reuses_the_shared_cache() {
-        let qs = group_qs(32);
         let cache = SharedGridCache::new();
         let policies: Vec<&dyn Congestion> = vec![&Sharing, &TwoLevel { c: -0.3 }];
-        let first = eval_interp_tile(&policies, 8, &qs, 1e-9, &cache).unwrap();
+        let first = eval_interp_tile(&policies, 8, 32, 1e-9, &cache).unwrap();
         assert_eq!(cache.builds(), 2);
-        let second = eval_interp_tile(&policies, 8, &qs, 1e-9, &cache).unwrap();
+        let second = eval_interp_tile(&policies, 8, 32, 1e-9, &cache).unwrap();
         assert_eq!(cache.builds(), 2, "warm daemon must not re-refine");
         assert_eq!(cache.hits(), 2);
         for (a, b) in first.iter().flatten().zip(second.iter().flatten()) {

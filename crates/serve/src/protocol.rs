@@ -16,6 +16,11 @@
 //! {"id":5,"cmd":"catalog","k":8,"resolution":256}                catalog scan
 //! {"id":6,"cmd":"stats"}                                         metrics
 //! {"id":7,"cmd":"shutdown"}                                      stop daemon
+//! {"id":8,"cmd":"scenario","policy":"sharing",
+//!         "profile":"zipf:5:1.0","k":3,"epochs":8,"explore":1e-4,
+//!         "events":[{"type":"daily","amplitude":0.25,"period":8},
+//!                   {"type":"drift","site":1,"rate":-0.05},
+//!                   {"type":"shock","epoch":4,"site":2,"factor":2.0}]}
 //! ```
 //!
 //! Replies are `{"id":N,"ok":true,"result":{…}}` on success and
@@ -28,6 +33,7 @@
 //! is what lets the round-trip integration test compare daemon replies
 //! against direct library calls with `to_bits` equality.
 
+use dispersal_sim::scenario::TrafficEvent;
 use serde::Value;
 
 /// Default evaluation-grid resolution when a request omits
@@ -46,7 +52,8 @@ pub enum Request {
     /// One congestion-response curve. With `tol` the daemon serves it
     /// from the shared interpolation-grid cache (`O(1)` per point,
     /// ≤ `tol × scale` from exact); without, the exact reference path
-    /// (bit-identical to `sweep::response_grid`).
+    /// (reference-mode `sweep::ResponseRequest`, bit-identical to the
+    /// scalar `PayoffContext::g`).
     Response {
         /// Policy spec string (e.g. `"sharing"`, `"two-level:-0.25"`).
         policy: String,
@@ -89,6 +96,23 @@ pub enum Request {
     Stats,
     /// Graceful stop; the daemon replies, then prints its summary.
     Shutdown,
+    /// Time-varying traffic tracking: replicator dynamics follow a
+    /// scenario's moving equilibrium
+    /// ([`dispersal_sim::scenario::run_scenario_replicator`]).
+    Scenario {
+        /// Policy spec string.
+        policy: String,
+        /// Profile spec string (the scenario's base values).
+        profile: String,
+        /// Player count.
+        k: usize,
+        /// Number of epochs in the schedule.
+        epochs: u64,
+        /// Traffic events perturbing the base values (may be empty).
+        events: Vec<TrafficEvent>,
+        /// Exploration floor mixed in at epoch boundaries (default 0).
+        explore: f64,
+    },
 }
 
 /// Read a `u64` out of a JSON number value.
@@ -138,6 +162,45 @@ fn optional_usize(
         Some(v) => {
             as_u64(v).map(|u| u as usize).ok_or_else(|| format!("non-integer field \"{name}\""))
         }
+    }
+}
+
+fn require_u64(entries: &[(String, Value)], name: &str) -> Result<u64, String> {
+    field(entries, name)
+        .and_then(as_u64)
+        .ok_or_else(|| format!("missing or non-integer field \"{name}\""))
+}
+
+fn require_f64(entries: &[(String, Value)], name: &str) -> Result<f64, String> {
+    field(entries, name)
+        .and_then(as_f64)
+        .ok_or_else(|| format!("missing or non-number field \"{name}\""))
+}
+
+/// Parse one `"events"` entry: an object tagged by `"type"` —
+/// `daily {amplitude, period}`, `drift {site, rate}`, or
+/// `shock {epoch, site, factor}`. Range validation (amplitude bounds,
+/// positive factors, site indices) is the scenario engine's job; the
+/// protocol only checks shape.
+fn parse_event(value: &Value) -> Result<TrafficEvent, String> {
+    let Some(entries) = value.as_object() else {
+        return Err("each event must be a JSON object".into());
+    };
+    match require_str(entries, "type")?.as_str() {
+        "daily" => Ok(TrafficEvent::Daily {
+            amplitude: require_f64(entries, "amplitude")?,
+            period: require_u64(entries, "period")?,
+        }),
+        "drift" => Ok(TrafficEvent::Drift {
+            site: require_usize(entries, "site")?,
+            rate: require_f64(entries, "rate")?,
+        }),
+        "shock" => Ok(TrafficEvent::Shock {
+            epoch: require_u64(entries, "epoch")?,
+            site: require_usize(entries, "site")?,
+            factor: require_f64(entries, "factor")?,
+        }),
+        other => Err(format!("unknown event type \"{other}\"")),
     }
 }
 
@@ -196,6 +259,26 @@ pub fn parse_line(line: &str) -> (u64, Result<Request, String>) {
         })(),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
+        "scenario" => (|| {
+            let events = match field(entries, "events") {
+                None => Vec::new(),
+                Some(Value::Array(items)) => {
+                    items.iter().map(parse_event).collect::<Result<Vec<_>, _>>()?
+                }
+                Some(_) => return Err("field \"events\" must be an array".to_string()),
+            };
+            Ok(Request::Scenario {
+                policy: require_str(entries, "policy")?,
+                profile: require_str(entries, "profile")?,
+                k: require_usize(entries, "k")?,
+                epochs: require_u64(entries, "epochs")?,
+                events,
+                explore: match field(entries, "explore") {
+                    None => 0.0,
+                    Some(v) => as_f64(v).ok_or("non-number field \"explore\"".to_string())?,
+                },
+            })
+        })(),
         other => Err(format!("unknown cmd \"{other}\"")),
     };
     (id, body)
@@ -278,6 +361,52 @@ mod tests {
         assert_eq!(req.unwrap(), Request::Catalog { k: 6, resolution: DEFAULT_RESOLUTION });
         assert_eq!(parse_line(r#"{"id":6,"cmd":"stats"}"#).1.unwrap(), Request::Stats);
         assert_eq!(parse_line(r#"{"id":7,"cmd":"shutdown"}"#).1.unwrap(), Request::Shutdown);
+        let (_, req) = parse_line(
+            r#"{"id":8,"cmd":"scenario","policy":"sharing","profile":"zipf:5:1.0","k":3,
+                "epochs":8,"explore":1e-4,
+                "events":[{"type":"daily","amplitude":0.25,"period":8},
+                          {"type":"drift","site":1,"rate":-0.05},
+                          {"type":"shock","epoch":4,"site":2,"factor":2.0}]}"#,
+        );
+        assert_eq!(
+            req.unwrap(),
+            Request::Scenario {
+                policy: "sharing".into(),
+                profile: "zipf:5:1.0".into(),
+                k: 3,
+                epochs: 8,
+                events: vec![
+                    TrafficEvent::Daily { amplitude: 0.25, period: 8 },
+                    TrafficEvent::Drift { site: 1, rate: -0.05 },
+                    TrafficEvent::Shock { epoch: 4, site: 2, factor: 2.0 },
+                ],
+                explore: 1e-4,
+            }
+        );
+        // Events and explore are optional; epochs is not.
+        let (_, req) = parse_line(
+            r#"{"id":9,"cmd":"scenario","policy":"sharing","profile":"zipf:5:1.0","k":3,"epochs":2}"#,
+        );
+        assert_eq!(
+            req.unwrap(),
+            Request::Scenario {
+                policy: "sharing".into(),
+                profile: "zipf:5:1.0".into(),
+                k: 3,
+                epochs: 2,
+                events: vec![],
+                explore: 0.0,
+            }
+        );
+        let (_, req) = parse_line(
+            r#"{"id":10,"cmd":"scenario","policy":"sharing","profile":"zipf:5:1.0","k":3}"#,
+        );
+        assert!(req.unwrap_err().contains("epochs"));
+        let (_, req) = parse_line(
+            r#"{"id":11,"cmd":"scenario","policy":"s","profile":"p","k":3,"epochs":2,
+                "events":[{"type":"quake","site":0}]}"#,
+        );
+        assert!(req.unwrap_err().contains("unknown event type"));
     }
 
     #[test]

@@ -31,6 +31,8 @@ use dispersal_core::prelude::*;
 use dispersal_mech::catalog::{parse_policy, parse_profile, standard_catalog};
 use dispersal_mech::evaluator::{catalog_response_matrix_cached, ResponseCache};
 use dispersal_sim::engine;
+use dispersal_sim::replicator::ReplicatorConfig;
+use dispersal_sim::scenario::{run_scenario_replicator, Scenario};
 use dispersal_sim::sweep::SharedGridCache;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -560,10 +562,14 @@ fn eval_group(
     let refs: Vec<&dyn Congestion> = policies.iter().map(|p| p.as_ref()).collect();
     let qs = batch::group_qs(group.resolution);
     let curves = match group.tol_bits {
-        None => batch::eval_exact_tile(&refs, group.k, &qs),
-        Some(bits) => {
-            batch::eval_interp_tile(&refs, group.k, &qs, f64::from_bits(bits), &inner.caches.grids)
-        }
+        None => batch::eval_exact_tile(&refs, group.k, group.resolution),
+        Some(bits) => batch::eval_interp_tile(
+            &refs,
+            group.k,
+            group.resolution,
+            f64::from_bits(bits),
+            &inner.caches.grids,
+        ),
     };
     match curves {
         Ok(curves) => {
@@ -640,6 +646,35 @@ fn eval_single(inner: &Arc<Inner>, request: &Request) -> std::result::Result<Val
         }
         Request::Stats => Ok(metrics_value(inner)),
         Request::Shutdown => Ok(protocol::object(vec![("stopping", Value::Bool(true))])),
+        Request::Scenario { policy, profile, k, epochs, events, explore } => {
+            let policy = parse_policy(policy).map_err(|e| e.to_string())?;
+            let f = parse_profile(profile).map_err(|e| e.to_string())?;
+            let scenario = Scenario::new(f, *epochs, events.clone()).map_err(|e| e.to_string())?;
+            let start = Strategy::uniform(scenario.sites()).map_err(|e| e.to_string())?;
+            let run = run_scenario_replicator(
+                policy.as_ref(),
+                &scenario,
+                &start,
+                *k,
+                *explore,
+                ReplicatorConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            let distances: Vec<f64> = run.records.iter().map(|r| r.ifd_distance).collect();
+            Ok(protocol::object(vec![
+                ("policy", Value::Str(policy.name())),
+                ("k", Value::UInt(*k as u64)),
+                ("epochs", Value::UInt(*epochs)),
+                ("ifd_distance", protocol::float_array(&distances)),
+                (
+                    "steps",
+                    Value::Array(run.records.iter().map(|r| Value::UInt(r.steps as u64)).collect()),
+                ),
+                ("converged", Value::Bool(run.records.iter().all(|r| r.converged))),
+                ("worst_distance", Value::Float(run.worst_distance())),
+                ("final_state", protocol::float_array(run.final_state.probs())),
+            ]))
+        }
     }
 }
 

@@ -231,6 +231,63 @@ fn equilibrium_ess_catalog_and_errors_round_trip() {
     assert!(metrics.errors >= 2);
 }
 
+#[test]
+fn scenario_round_trip_matches_direct_tracking() {
+    use dispersal_sim::replicator::ReplicatorConfig;
+    use dispersal_sim::scenario::{run_scenario_replicator, Scenario, TrafficEvent};
+
+    let server = Server::bind(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let result = client
+        .request(
+            r#"{"id":1,"cmd":"scenario","policy":"sharing","profile":"zipf:5:1.0","k":3,"epochs":4,"explore":1e-4,"events":[{"type":"daily","amplitude":0.2,"period":4},{"type":"shock","epoch":2,"site":4,"factor":3.0}]}"#,
+        )
+        .unwrap();
+
+    let policy = parse_policy("sharing").unwrap();
+    let f = parse_profile("zipf:5:1.0").unwrap();
+    let scenario = Scenario::new(
+        f,
+        4,
+        vec![
+            TrafficEvent::Daily { amplitude: 0.2, period: 4 },
+            TrafficEvent::Shock { epoch: 2, site: 4, factor: 3.0 },
+        ],
+    )
+    .unwrap();
+    let start = Strategy::uniform(5).unwrap();
+    let want = run_scenario_replicator(
+        policy.as_ref(),
+        &scenario,
+        &start,
+        3,
+        1e-4,
+        ReplicatorConfig::default(),
+    )
+    .unwrap();
+
+    let distances: Vec<f64> = want.records.iter().map(|r| r.ifd_distance).collect();
+    assert_bits_eq(&floats(&lookup(&result, "ifd_distance")), &distances, "scenario distances");
+    assert_bits_eq(
+        &floats(&lookup(&result, "final_state")),
+        want.final_state.probs(),
+        "scenario final state",
+    );
+    let steps: Vec<u64> = floats(&lookup(&result, "steps")).iter().map(|&s| s as u64).collect();
+    assert_eq!(steps, want.records.iter().map(|r| r.steps as u64).collect::<Vec<_>>());
+    assert_eq!(lookup(&result, "converged"), Value::Bool(want.records.iter().all(|r| r.converged)));
+    assert_eq!(uint(&lookup(&result, "epochs")), 4);
+
+    // Scenario-level validation errors answer in place.
+    let err = client
+        .request(
+            r#"{"id":2,"cmd":"scenario","policy":"sharing","profile":"zipf:5:1.0","k":3,"epochs":4,"events":[{"type":"drift","site":9,"rate":0.1}]}"#,
+        )
+        .unwrap_err();
+    assert!(err.contains("out of range"), "unexpected error text: {err}");
+    server.shutdown();
+}
+
 #[cfg(unix)]
 #[test]
 fn unix_socket_round_trip() {

@@ -19,6 +19,8 @@
 //!   equilibrium-selection dynamics.
 //! * [`invasion`] — finite-ε mutant-invasion experiments matching Eq. (3).
 //! * [`moran`] — finite-population Moran process with k-group matching.
+//! * [`scenario`] — time-varying traffic schedules tracked by replicator
+//!   and Moran dynamics (the population-scale scenario engine).
 //! * [`stats`] / [`rng`] — Welford/bootstrap statistics and forkable
 //!   deterministic RNG streams.
 
@@ -32,6 +34,7 @@ pub mod moran;
 pub mod oneshot;
 pub mod replicator;
 pub mod rng;
+pub mod scenario;
 pub mod stats;
 pub mod sweep;
 
@@ -39,7 +42,11 @@ pub mod sweep;
 pub mod prelude {
     pub use crate::dynamics::{run_fictitious_play, run_logit, DynamicsConfig, DynamicsRun};
     pub use crate::engine::{self, Count, Experiment, Merge, ShardPlan, Sum};
-    pub use crate::invasion::{invasion_sweep, run_invasion, InvasionConfig, InvasionReport};
+    pub use crate::invasion::{
+        invasion_sweep, mixture_field_payoffs, mixture_invasion_barrier, mixture_type_advantage,
+        run_invasion, run_invasion_mixture, InvasionConfig, InvasionReport, Mixture,
+        MixtureEvaluator, MixtureInvasionReport, MixtureLedger,
+    };
     pub use crate::montecarlo::{
         estimate_profile_coverage, estimate_symmetric, McConfig, McReport,
     };
@@ -49,6 +56,16 @@ pub mod prelude {
         run_replicator, run_replicator_ensemble, ReplicatorConfig, ReplicatorRun,
     };
     pub use crate::rng::Seed;
+    pub use crate::scenario::{
+        run_scenario_moran, run_scenario_replicator, run_scenario_replicator_ensemble,
+        EpochProfile, EpochRecord, MoranEpochRecord, Scenario, ScenarioMoranRun, ScenarioRun,
+        TrafficEvent,
+    };
     pub use crate::stats::{bootstrap_mean_ci, Estimate, Welford};
-    pub use crate::sweep::{response_grid, sweep_grid, ResponseCurve, SweepCell};
+    #[allow(deprecated)]
+    pub use crate::sweep::response_grid;
+    pub use crate::sweep::{
+        sweep_grid, PolicyResponseCurve, ResponseCurve, ResponseRequest, SharedGridCache,
+        SweepCell, DEFAULT_RESPONSE_RESOLUTION,
+    };
 }

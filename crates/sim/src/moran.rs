@@ -15,6 +15,7 @@ use dispersal_core::strategy::Strategy;
 use dispersal_core::value::ValueProfile;
 use dispersal_core::{Error, Result};
 use rand::Rng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for the Moran process.
@@ -99,60 +100,11 @@ pub fn run_moran(
     // Site-major reward matrix `rewards[x·k + ℓ − 1] = f(x)·C(ℓ)` — the
     // same precomputed lookup layout as the one-shot and invasion
     // experiments, so the inner game loop does no value×table multiplies.
-    let rewards = crate::oneshot::reward_matrix(f, ctx.c_table());
+    let mut engine = MoranEngine::new(m, n, k, crate::oneshot::reward_matrix(f, ctx.c_table()));
     let mut freq_acc = vec![0.0f64; m];
     let mut recorded = 0u64;
-    let mut fitness = vec![0.0f64; n];
-    let mut plays = vec![0u32; n];
-    let mut occupancy = vec![0usize; m];
-    let mut order: Vec<usize> = (0..n).collect();
-    let groups_per_round = n / k;
     for generation in 0..config.generations {
-        // Each round, the whole population is shuffled and partitioned into
-        // k-groups that play once (the paper's "colony breaks daily into
-        // foraging groups" picture); leftovers (< k individuals) sit out.
-        fitness.iter_mut().for_each(|x| *x = 0.0);
-        plays.iter_mut().for_each(|x| *x = 0);
-        for _ in 0..config.rounds_per_generation {
-            // Fisher-Yates shuffle of the play order.
-            for i in (1..n).rev() {
-                let j = rng.gen_range(0..=i);
-                order.swap(i, j);
-            }
-            for g in 0..groups_per_round {
-                let group = &order[g * k..(g + 1) * k];
-                occupancy.iter_mut().for_each(|o| *o = 0);
-                for &ind in group {
-                    occupancy[sites[ind]] += 1;
-                }
-                for &ind in group {
-                    let site = sites[ind];
-                    fitness[ind] += rewards[site * k + occupancy[site] - 1];
-                    plays[ind] += 1;
-                }
-            }
-        }
-        // Linear weak selection: weight = max(0, 1 + s * average payoff).
-        let weights: Vec<f64> = (0..n)
-            .map(|i| {
-                let avg = if plays[i] > 0 { fitness[i] / plays[i] as f64 } else { 0.0 };
-                (1.0 + config.selection * avg).max(0.0)
-            })
-            .collect();
-        let total: f64 = weights.iter().sum();
-        let mut pick = rng.gen::<f64>() * total;
-        let mut parent = n - 1;
-        for (i, &w) in weights.iter().enumerate() {
-            pick -= w;
-            if pick <= 0.0 {
-                parent = i;
-                break;
-            }
-        }
-        let child_site =
-            if rng.gen::<f64>() < config.mutation { rng.gen_range(0..m) } else { sites[parent] };
-        let dying = rng.gen_range(0..n);
-        sites[dying] = child_site;
+        engine.generation(&config, &mut sites, &mut rng);
         if generation >= config.burn_in {
             recorded += 1;
             for &s in &sites {
@@ -168,6 +120,111 @@ pub fn run_moran(
         final_counts[s] += 1;
     }
     Ok(MoranRun { mean_frequencies, final_counts, generations: config.generations })
+}
+
+/// The reusable Moran generation kernel: the birth–death step with its
+/// scratch buffers, factored out so [`run_moran`] and the time-varying
+/// scenario driver share one RNG-call sequence. Rewards can be swapped
+/// between generations ([`MoranEngine::set_rewards`]) without touching
+/// the population — the scenario engine's moving-traffic hook.
+pub(crate) struct MoranEngine {
+    rewards: Vec<f64>,
+    m: usize,
+    n: usize,
+    k: usize,
+    groups_per_round: usize,
+    fitness: Vec<f64>,
+    plays: Vec<u32>,
+    occupancy: Vec<usize>,
+    order: Vec<usize>,
+}
+
+impl MoranEngine {
+    /// Buffers for a population of `n` individuals over `m` sites with
+    /// `k`-group matching; `rewards` is the site-major lookup
+    /// `rewards[x·k + ℓ − 1]`.
+    pub(crate) fn new(m: usize, n: usize, k: usize, rewards: Vec<f64>) -> Self {
+        Self {
+            rewards,
+            m,
+            n,
+            k,
+            groups_per_round: n / k,
+            fitness: vec![0.0; n],
+            plays: vec![0; n],
+            occupancy: vec![0; m],
+            order: (0..n).collect(),
+        }
+    }
+
+    /// Swap in a new site-major reward matrix (same `m × k` shape).
+    pub(crate) fn set_rewards(&mut self, rewards: Vec<f64>) {
+        debug_assert_eq!(rewards.len(), self.rewards.len());
+        self.rewards = rewards;
+    }
+
+    /// One generation: `rounds_per_generation` shuffled full-population
+    /// partitions into k-groups determine fitness, then one
+    /// selection-weighted birth and one uniform death. Identical RNG call
+    /// order to the pre-refactor loop, so seeded runs reproduce bit for
+    /// bit.
+    pub(crate) fn generation(
+        &mut self,
+        config: &MoranConfig,
+        sites: &mut [usize],
+        rng: &mut ChaCha8Rng,
+    ) {
+        let (n, k) = (self.n, self.k);
+        // Each round, the whole population is shuffled and partitioned into
+        // k-groups that play once (the paper's "colony breaks daily into
+        // foraging groups" picture); leftovers (< k individuals) sit out.
+        self.fitness.iter_mut().for_each(|x| *x = 0.0);
+        self.plays.iter_mut().for_each(|x| *x = 0);
+        for _ in 0..config.rounds_per_generation {
+            // Fisher-Yates shuffle of the play order.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                self.order.swap(i, j);
+            }
+            for g in 0..self.groups_per_round {
+                let group = &self.order[g * k..(g + 1) * k];
+                self.occupancy.iter_mut().for_each(|o| *o = 0);
+                for &ind in group {
+                    self.occupancy[sites[ind]] += 1;
+                }
+                for &ind in group {
+                    let site = sites[ind];
+                    self.fitness[ind] += self.rewards[site * k + self.occupancy[site] - 1];
+                    self.plays[ind] += 1;
+                }
+            }
+        }
+        // Linear weak selection: weight = max(0, 1 + s * average payoff).
+        let weights: Vec<f64> = (0..n)
+            .map(|i| {
+                let avg =
+                    if self.plays[i] > 0 { self.fitness[i] / self.plays[i] as f64 } else { 0.0 };
+                (1.0 + config.selection * avg).max(0.0)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = rng.gen::<f64>() * total;
+        let mut parent = n - 1;
+        for (i, &w) in weights.iter().enumerate() {
+            pick -= w;
+            if pick <= 0.0 {
+                parent = i;
+                break;
+            }
+        }
+        let child_site = if rng.gen::<f64>() < config.mutation {
+            rng.gen_range(0..self.m)
+        } else {
+            sites[parent]
+        };
+        let dying = rng.gen_range(0..n);
+        sites[dying] = child_site;
+    }
 }
 
 #[cfg(test)]

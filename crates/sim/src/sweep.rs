@@ -4,7 +4,7 @@
 
 use crate::engine;
 use dispersal_core::kernel::cache::{CacheStats, SharedCache};
-use dispersal_core::kernel::{GBatch, GTable};
+use dispersal_core::kernel::{GBatch, GTable, GridSpec};
 use dispersal_core::policy::{validate_congestion, Congestion};
 use dispersal_core::value::ValueProfile;
 use dispersal_core::{Error, Result};
@@ -88,19 +88,17 @@ fn check_policies(policies: &[&dyn Congestion]) -> Result<()> {
 /// and every value is bit-identical to the per-point scalar path — which
 /// is what makes sweeping `resolution = 10⁴`-point grids at `k = 256`
 /// cheap without giving up reproducibility.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ResponseRequest::new(c).ks(ks).resolution(resolution).evaluate()"
+)]
 pub fn response_grid(
     c: &dyn Congestion,
     ks: &[usize],
     resolution: usize,
 ) -> Result<Vec<ResponseCurve>> {
-    let qs = response_qs(ks, resolution)?;
-    engine::par_map(ks.to_vec(), |k| {
-        let batch = GBatch::new(&[c], k)?;
-        let mut scratch = batch.scratch();
-        let mut g = vec![0.0; qs.len()];
-        batch.eval_many_with(&mut scratch, &qs, &mut g)?;
-        Ok(ResponseCurve { k, qs: qs.clone(), g })
-    })
+    let curves = ResponseRequest::new(c).ks(ks).resolution(resolution).reference().evaluate()?;
+    Ok(curves.into_iter().map(|p| ResponseCurve { k: p.k, qs: p.qs, g: p.g }).collect())
 }
 
 /// One policy's curve from a multi-policy batched sweep
@@ -125,31 +123,16 @@ pub struct PolicyResponseCurve {
 /// Workers fan out across k-tiles; output is k-major (all policies of
 /// `ks[0]`, then `ks[1]`, …), matching per-policy [`GTable::eval_fused`]
 /// to ≤ 1e-13 × the coefficient scale.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ResponseRequest::policies(policies).ks(ks).resolution(resolution).evaluate()"
+)]
 pub fn response_grid_batch(
     policies: &[&dyn Congestion],
     ks: &[usize],
     resolution: usize,
 ) -> Result<Vec<PolicyResponseCurve>> {
-    check_policies(policies)?;
-    let qs = response_qs(ks, resolution)?;
-    let tiles = engine::par_map(ks.to_vec(), |k| {
-        let batch = GBatch::new(policies, k)?;
-        let mut scratch = batch.scratch();
-        let mut g = vec![0.0; batch.rows() * qs.len()];
-        batch.eval_fused_many_into(&mut scratch, &qs, &mut g)?;
-        let curves: Vec<PolicyResponseCurve> = policies
-            .iter()
-            .enumerate()
-            .map(|(r, c)| PolicyResponseCurve {
-                policy: c.name(),
-                k,
-                qs: qs.clone(),
-                g: g[r * qs.len()..(r + 1) * qs.len()].to_vec(),
-            })
-            .collect();
-        Ok(curves)
-    })?;
-    Ok(tiles.into_iter().flatten().collect())
+    ResponseRequest::policies(policies).ks(ks).resolution(resolution).fused().evaluate()
 }
 
 /// Memoized interpolation grids for the sweep layer, keyed by the
@@ -180,7 +163,7 @@ pub fn response_grid_batch(
 /// warmed the cache and in what order.
 #[derive(Debug)]
 pub struct SharedGridCache {
-    inner: SharedCache<(Vec<u64>, u64), GTable>,
+    inner: SharedCache<(Vec<u64>, u8, u64), GTable>,
 }
 
 /// Transitional name: the pre-refactor `&mut` memo was called
@@ -211,17 +194,33 @@ impl SharedGridCache {
         SharedGridCache { inner: SharedCache::new(grids) }
     }
 
-    /// The gridded table for `(c, k)` at tolerance `tol`, built on first
-    /// use. Returned as an [`Arc`] so parallel sweep workers can share
-    /// one instance without cloning the grid; concurrent callers of the
-    /// same cell block on its shard until the single build finishes.
+    /// The gridded table for `(c, k)` at the **uniform** interpolation
+    /// tolerance `tol` — shorthand for [`Self::table_with_spec`] with
+    /// [`GridSpec::Interpolated`]. Returned as an [`Arc`] so parallel
+    /// sweep workers can share one instance without cloning the grid;
+    /// concurrent callers of the same cell block on its shard until the
+    /// single build finishes.
     pub fn table(&self, c: &dyn Congestion, k: usize, tol: f64) -> Result<Arc<GTable>> {
+        self.table_with_spec(c, k, GridSpec::Interpolated { tol })
+    }
+
+    /// The table for `(c, k)` built per `spec`, memoized per
+    /// `(coefficients, spec)` cell: distinct specs (uniform vs
+    /// non-uniform, distinct tolerances) memoize distinct grids, and the
+    /// tolerance check runs through the single [`GridSpec::validate`]
+    /// path. [`GridSpec::NonUniform`] is the `k → 10⁶` entry point.
+    pub fn table_with_spec(
+        &self,
+        c: &dyn Congestion,
+        k: usize,
+        spec: GridSpec,
+    ) -> Result<Arc<GTable>> {
         let coeffs = validate_congestion(c, k)?;
-        if !(tol.is_finite() && tol > 0.0) {
-            return Err(Error::InvalidTolerance { tol });
-        }
-        let key = (coeffs.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(), tol.to_bits());
-        self.inner.get_or_try_insert_with(key, || GTable::from_coefficients(coeffs)?.with_grid(tol))
+        spec.validate()?;
+        let (kind, tol_bits) = spec.key_bits();
+        let key = (coeffs.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(), kind, tol_bits);
+        self.inner
+            .get_or_try_insert_with(key, || GTable::from_coefficients(coeffs)?.with_spec(spec))
     }
 
     /// Number of grids built so far (cache misses, including rebuilds
@@ -255,6 +254,219 @@ impl SharedGridCache {
     }
 }
 
+/// The unified response-evaluation request — the **single** entry point
+/// that replaced the four-way `response_grid` /
+/// `response_grid_batch` / `response_grid_interpolated` /
+/// `response_grid_batch_interpolated` sprawl. Build one with
+/// [`ResponseRequest::new`] (single policy) or
+/// [`ResponseRequest::policies`] (a batch), chain the knobs, and call
+/// [`ResponseRequest::evaluate`]:
+///
+/// ```
+/// use dispersal_core::kernel::GridSpec;
+/// use dispersal_core::policy::{Exclusive, Sharing, Congestion};
+/// use dispersal_sim::sweep::{ResponseRequest, SharedGridCache};
+///
+/// // Exact reference curve for one policy (bit-identical to the scalar
+/// // reference path):
+/// let curves = ResponseRequest::new(&Sharing).ks(&[8, 64]).resolution(128).evaluate()?;
+/// assert_eq!(curves.len(), 2);
+///
+/// // A policy batch over memoized interpolation grids:
+/// let cache = SharedGridCache::new();
+/// let policies: Vec<&dyn Congestion> = vec![&Exclusive, &Sharing];
+/// let batch = ResponseRequest::policies(&policies)
+///     .ks(&[64])
+///     .resolution(128)
+///     .grid(GridSpec::Interpolated { tol: 1e-9 })
+///     .cache(&cache)
+///     .evaluate()?;
+/// assert_eq!(batch.len(), 2);
+/// # Ok::<(), dispersal_core::Error>(())
+/// ```
+///
+/// Evaluation-mode contract (all outputs are k-major, policies in input
+/// order within each `k`, and deterministic at any thread count):
+///
+/// * [`GridSpec::Exact`] + reference mode (the default for a single
+///   policy, forced with [`ResponseRequest::reference`]) — per-`k`
+///   [`GBatch`] reference tiles; every curve is **bit-identical** to the
+///   per-point scalar `g` and to the legacy `response_grid`.
+/// * [`GridSpec::Exact`] + fused mode (the default for a multi-policy
+///   batch, forced with [`ResponseRequest::fused`]) — the fused-GEMM
+///   tile of the legacy `response_grid_batch`: ≤ 1e-13 × scale from the
+///   reference, shared Bernstein column per point.
+/// * [`GridSpec::Interpolated`] / [`GridSpec::NonUniform`] — `O(1)`
+///   per-point grids pulled from the supplied [`SharedGridCache`] (or a
+///   private per-call cache when none is given), bit-identical to the
+///   legacy interpolated paths.
+#[derive(Clone, Copy)]
+pub struct ResponseRequest<'a> {
+    policies: &'a [&'a dyn Congestion],
+    single: Option<&'a dyn Congestion>,
+    ks: &'a [usize],
+    resolution: usize,
+    grid: GridSpec,
+    cache: Option<&'a SharedGridCache>,
+    /// `None` = decide by arity (single policy → reference, batch →
+    /// fused); `Some(true)` = reference; `Some(false)` = fused.
+    reference: Option<bool>,
+}
+
+/// Default evaluation resolution (`resolution + 1` grid points) when the
+/// caller does not set one — matches the serving layer's default tile.
+pub const DEFAULT_RESPONSE_RESOLUTION: usize = 256;
+
+impl<'a> ResponseRequest<'a> {
+    /// A request for one policy's response curves.
+    pub fn new(c: &'a dyn Congestion) -> Self {
+        Self {
+            policies: &[],
+            single: Some(c),
+            ks: &[],
+            resolution: DEFAULT_RESPONSE_RESOLUTION,
+            grid: GridSpec::Exact,
+            cache: None,
+            reference: None,
+        }
+    }
+
+    /// A request for a batch of policies sharing one evaluation grid.
+    pub fn policies(policies: &'a [&'a dyn Congestion]) -> Self {
+        Self {
+            policies,
+            single: None,
+            ks: &[],
+            resolution: DEFAULT_RESPONSE_RESOLUTION,
+            grid: GridSpec::Exact,
+            cache: None,
+            reference: None,
+        }
+    }
+
+    /// The player counts to evaluate (one k-tile per entry).
+    pub fn ks(mut self, ks: &'a [usize]) -> Self {
+        self.ks = ks;
+        self
+    }
+
+    /// Evaluation-grid resolution (`resolution + 1` uniform points over
+    /// `[0, 1]`; default [`DEFAULT_RESPONSE_RESOLUTION`]).
+    pub fn resolution(mut self, resolution: usize) -> Self {
+        self.resolution = resolution;
+        self
+    }
+
+    /// Grid configuration (default [`GridSpec::Exact`]).
+    pub fn grid(mut self, spec: GridSpec) -> Self {
+        self.grid = spec;
+        self
+    }
+
+    /// Memoize interpolation grids in `cache` (shared across requests and
+    /// worker threads). Without this, interpolated requests build into a
+    /// private per-call cache — same bits, no reuse across calls.
+    pub fn cache(mut self, cache: &'a SharedGridCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Force the bit-identical reference mode for [`GridSpec::Exact`]
+    /// requests, regardless of batch size (the serving layer's exact
+    /// tiles require per-row bit-identity whatever the group
+    /// composition).
+    pub fn reference(mut self) -> Self {
+        self.reference = Some(true);
+        self
+    }
+
+    /// Force the fused-GEMM mode for [`GridSpec::Exact`] requests,
+    /// regardless of batch size (throughput over bit-identity).
+    pub fn fused(mut self) -> Self {
+        self.reference = Some(false);
+        self
+    }
+
+    /// The policy list this request evaluates (single-policy requests are
+    /// a one-element batch).
+    fn policy_slice(&self) -> Vec<&'a dyn Congestion> {
+        match self.single {
+            Some(c) => vec![c],
+            None => self.policies.to_vec(),
+        }
+    }
+
+    /// Run the request. Output is k-major: all policies (input order) of
+    /// `ks[0]`, then `ks[1]`, … — one [`PolicyResponseCurve`] per
+    /// `(k, policy)` cell.
+    pub fn evaluate(&self) -> Result<Vec<PolicyResponseCurve>> {
+        let policies = self.policy_slice();
+        check_policies(&policies)?;
+        let qs = response_qs(self.ks, self.resolution)?;
+        match self.grid {
+            GridSpec::Exact => {
+                let reference = self.reference.unwrap_or(policies.len() == 1);
+                let tiles = engine::par_map(self.ks.to_vec(), |k| {
+                    let batch = GBatch::new(&policies, k)?;
+                    let mut scratch = batch.scratch();
+                    let mut g = vec![0.0; batch.rows() * qs.len()];
+                    if reference {
+                        batch.eval_many_with(&mut scratch, &qs, &mut g)?;
+                    } else {
+                        batch.eval_fused_many_into(&mut scratch, &qs, &mut g)?;
+                    }
+                    let curves: Vec<PolicyResponseCurve> = policies
+                        .iter()
+                        .enumerate()
+                        .map(|(r, c)| PolicyResponseCurve {
+                            policy: c.name(),
+                            k,
+                            qs: qs.clone(),
+                            g: g[r * qs.len()..(r + 1) * qs.len()].to_vec(),
+                        })
+                        .collect();
+                    Ok(curves)
+                })?;
+                Ok(tiles.into_iter().flatten().collect())
+            }
+            spec => {
+                // Validate every cell up front so a bad tolerance or
+                // degenerate policy fails before any worker runs, then
+                // fan the whole k-major grid of (policy, k) cells out at
+                // once — builds and evaluation both run on the pool, with
+                // duplicate cells coordinated by the cache's shard locks
+                // so each grid is refined at most once.
+                for c in &policies {
+                    validate_congestion(*c, self.ks[0])?;
+                }
+                spec.validate()?;
+                let owned;
+                let cache = match self.cache {
+                    Some(shared) => shared,
+                    None => {
+                        owned = SharedGridCache::new();
+                        &owned
+                    }
+                };
+                let mut cells: Vec<(usize, &dyn Congestion)> =
+                    Vec::with_capacity(policies.len() * self.ks.len());
+                for &k in self.ks {
+                    for c in &policies {
+                        cells.push((k, *c));
+                    }
+                }
+                engine::par_map(cells, |(k, c)| {
+                    let table = cache.table_with_spec(c, k, spec)?;
+                    let mut scratch = table.scratch();
+                    let mut g = vec![0.0; qs.len()];
+                    table.eval_fast_many_with(&mut scratch, &qs, &mut g)?;
+                    Ok(PolicyResponseCurve { policy: c.name(), k, qs: qs.clone(), g })
+                })
+            }
+        }
+    }
+}
+
 /// [`response_grid`] through memoized `O(1)`-per-point interpolation
 /// grids: grids are pulled from (or built into) `cache` at the per-call
 /// tolerance `tol`, then every curve is evaluated in parallel. The
@@ -262,6 +474,10 @@ impl SharedGridCache {
 /// `O(k)` per point while the interpolated one is a table lookup, and
 /// repeated sweeps over the same `(policy, k)` cells pay the grid build
 /// only once.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ResponseRequest::new(c).grid(GridSpec::Interpolated { tol }).cache(cache).evaluate()"
+)]
 pub fn response_grid_interpolated(
     c: &dyn Congestion,
     ks: &[usize],
@@ -269,17 +485,13 @@ pub fn response_grid_interpolated(
     tol: f64,
     cache: &SharedGridCache,
 ) -> Result<Vec<ResponseCurve>> {
-    let qs = response_qs(ks, resolution)?;
-    // Both the grid builds and the evaluation fan out across curves: the
-    // shared cache coordinates duplicate cells through its shard locks,
-    // so each grid is refined at most once no matter the schedule.
-    engine::par_map(ks.to_vec(), |k| {
-        let table = cache.table(c, k, tol)?;
-        let mut scratch = table.scratch();
-        let mut g = vec![0.0; qs.len()];
-        table.eval_fast_many_with(&mut scratch, &qs, &mut g)?;
-        Ok(ResponseCurve { k, qs: qs.clone(), g })
-    })
+    let curves = ResponseRequest::new(c)
+        .ks(ks)
+        .resolution(resolution)
+        .grid(GridSpec::Interpolated { tol })
+        .cache(cache)
+        .evaluate()?;
+    Ok(curves.into_iter().map(|p| ResponseCurve { k: p.k, qs: p.qs, g: p.g }).collect())
 }
 
 /// The multi-policy sibling of [`response_grid_interpolated`]: every
@@ -292,6 +504,10 @@ pub fn response_grid_interpolated(
 /// k-tiles of a batched sweep and stand-alone sweeps never build the
 /// same grid twice. Output is k-major (all policies of `ks[0]`, then
 /// `ks[1]`, …), matching [`response_grid_batch`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use ResponseRequest::policies(policies).grid(GridSpec::Interpolated { tol }).cache(cache).evaluate()"
+)]
 pub fn response_grid_batch_interpolated(
     policies: &[&dyn Congestion],
     ks: &[usize],
@@ -299,35 +515,16 @@ pub fn response_grid_batch_interpolated(
     tol: f64,
     cache: &SharedGridCache,
 ) -> Result<Vec<PolicyResponseCurve>> {
-    check_policies(policies)?;
-    let qs = response_qs(ks, resolution)?;
-    // Validate every cell up front so a bad tolerance or degenerate
-    // policy fails before any worker runs, then fan the whole grid of
-    // (policy, k) cells out at once — builds and evaluation both run on
-    // the pool, with duplicate cells coordinated by the cache's shard
-    // locks so each grid is refined at most once.
-    for c in policies {
-        validate_congestion(*c, ks[0])?;
-    }
-    if !(tol.is_finite() && tol > 0.0) {
-        return Err(Error::InvalidTolerance { tol });
-    }
-    let mut cells: Vec<(usize, &dyn Congestion)> = Vec::with_capacity(policies.len() * ks.len());
-    for &k in ks {
-        for c in policies {
-            cells.push((k, *c));
-        }
-    }
-    engine::par_map(cells, |(k, c)| {
-        let table = cache.table(c, k, tol)?;
-        let mut scratch = table.scratch();
-        let mut g = vec![0.0; qs.len()];
-        table.eval_fast_many_with(&mut scratch, &qs, &mut g)?;
-        Ok(PolicyResponseCurve { policy: c.name(), k, qs: qs.clone(), g })
-    })
+    ResponseRequest::policies(policies)
+        .ks(ks)
+        .resolution(resolution)
+        .grid(GridSpec::Interpolated { tol })
+        .cache(cache)
+        .evaluate()
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers stay pinned until removal
 mod tests {
     use super::*;
     use dispersal_core::optimal::optimal_coverage;
@@ -546,6 +743,173 @@ mod tests {
         assert!(response_grid_batch_interpolated(&[], &ks, 8, tol, &cache).is_err());
         assert!(response_grid_batch_interpolated(&policies, &[], 8, tol, &cache).is_err());
         assert!(response_grid_batch_interpolated(&policies, &ks, 0, tol, &cache).is_err());
+    }
+
+    /// The unified-API regression: every legacy entry point must produce
+    /// bit-identical curves through [`ResponseRequest`]. (CI's
+    /// thread-matrix job repeats the whole suite at
+    /// `RAYON_NUM_THREADS ∈ {1, 4}`; together with the serial run this
+    /// pins the contract across thread counts.)
+    #[test]
+    fn unified_request_is_bit_identical_to_all_four_legacy_entry_points() {
+        use dispersal_core::policy::{Exclusive, PowerLaw, TwoLevel};
+        let policies: Vec<&dyn Congestion> =
+            vec![&Exclusive, &Sharing, &TwoLevel { c: -0.4 }, &PowerLaw { beta: 2.0 }];
+        let ks = [2usize, 8, 33];
+        let resolution = 64;
+        let tol = 1e-9;
+
+        // 1. response_grid (single policy, exact reference mode).
+        let legacy = response_grid(&Sharing, &ks, resolution).unwrap();
+        let unified =
+            ResponseRequest::new(&Sharing).ks(&ks).resolution(resolution).evaluate().unwrap();
+        assert_eq!(legacy.len(), unified.len());
+        for (l, u) in legacy.iter().zip(unified.iter()) {
+            assert_eq!((l.k, &l.qs), (u.k, &u.qs));
+            assert_eq!(u.policy, "sharing");
+            for (a, b) in l.g.iter().zip(u.g.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "response_grid diverged at k={}", l.k);
+            }
+        }
+
+        // 2. response_grid_batch (multi-policy, exact fused mode).
+        let legacy = response_grid_batch(&policies, &ks, resolution).unwrap();
+        let unified =
+            ResponseRequest::policies(&policies).ks(&ks).resolution(resolution).evaluate().unwrap();
+        assert_eq!(legacy.len(), unified.len());
+        for (l, u) in legacy.iter().zip(unified.iter()) {
+            assert_eq!((l.k, &l.policy), (u.k, &u.policy));
+            for (a, b) in l.g.iter().zip(u.g.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "batch diverged at k={} {}", l.k, l.policy);
+            }
+        }
+
+        // 3. response_grid_interpolated (single policy, uniform grid).
+        let legacy_cache = SharedGridCache::new();
+        let unified_cache = SharedGridCache::new();
+        let legacy =
+            response_grid_interpolated(&Sharing, &ks, resolution, tol, &legacy_cache).unwrap();
+        let unified = ResponseRequest::new(&Sharing)
+            .ks(&ks)
+            .resolution(resolution)
+            .grid(GridSpec::Interpolated { tol })
+            .cache(&unified_cache)
+            .evaluate()
+            .unwrap();
+        for (l, u) in legacy.iter().zip(unified.iter()) {
+            assert_eq!(l.k, u.k);
+            for (a, b) in l.g.iter().zip(u.g.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "interpolated diverged at k={}", l.k);
+            }
+        }
+
+        // 4. response_grid_batch_interpolated (multi-policy, shared cache).
+        let legacy =
+            response_grid_batch_interpolated(&policies, &ks, resolution, tol, &legacy_cache)
+                .unwrap();
+        let unified = ResponseRequest::policies(&policies)
+            .ks(&ks)
+            .resolution(resolution)
+            .grid(GridSpec::Interpolated { tol })
+            .cache(&unified_cache)
+            .evaluate()
+            .unwrap();
+        assert_eq!(legacy.len(), unified.len());
+        for (l, u) in legacy.iter().zip(unified.iter()) {
+            assert_eq!((l.k, &l.policy), (u.k, &u.policy));
+            for (a, b) in l.g.iter().zip(u.g.iter()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "batch interpolated diverged at k={} {}",
+                    l.k,
+                    l.policy
+                );
+            }
+        }
+        // Without a caller cache the interpolated path builds privately —
+        // same bits, no shared memoization.
+        let private = ResponseRequest::new(&Sharing)
+            .ks(&ks)
+            .resolution(resolution)
+            .grid(GridSpec::Interpolated { tol })
+            .evaluate()
+            .unwrap();
+        for (l, u) in unified.iter().filter(|c| c.policy == "sharing").zip(private.iter()) {
+            for (a, b) in l.g.iter().zip(u.g.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "private-cache path diverged at k={}", l.k);
+            }
+        }
+    }
+
+    #[test]
+    fn unified_request_reference_mode_matches_exact_tile_rows_in_any_company() {
+        use dispersal_core::policy::{PowerLaw, TwoLevel};
+        // A multi-policy exact request in forced reference mode must give
+        // each policy the same bits it gets alone — the serving layer's
+        // per-row bit-identity contract.
+        let policies: Vec<&dyn Congestion> =
+            vec![&Sharing, &TwoLevel { c: -0.3 }, &PowerLaw { beta: 2.0 }];
+        let grouped = ResponseRequest::policies(&policies)
+            .ks(&[16])
+            .resolution(64)
+            .reference()
+            .evaluate()
+            .unwrap();
+        for (r, c) in policies.iter().enumerate() {
+            let alone = ResponseRequest::new(*c).ks(&[16]).resolution(64).evaluate().unwrap();
+            for (a, b) in grouped[r].g.iter().zip(alone[0].g.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {r} diverged under batching");
+            }
+        }
+        // And forced fused mode on a single policy matches the batch path.
+        let fused_single =
+            ResponseRequest::new(&Sharing).ks(&[16]).resolution(64).fused().evaluate().unwrap();
+        let batch_single = response_grid_batch(&[&Sharing], &[16], 64).unwrap();
+        for (a, b) in fused_single[0].g.iter().zip(batch_single[0].g.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn unified_request_nonuniform_grid_tracks_exact_curves() {
+        let cache = SharedGridCache::new();
+        let tol = 1e-9;
+        let ks = [64usize, 512];
+        let curves = ResponseRequest::new(&dispersal_core::policy::Exclusive)
+            .ks(&ks)
+            .resolution(128)
+            .grid(GridSpec::NonUniform { tol })
+            .cache(&cache)
+            .evaluate()
+            .unwrap();
+        assert_eq!(cache.builds(), 2);
+        let exact = ResponseRequest::new(&dispersal_core::policy::Exclusive)
+            .ks(&ks)
+            .resolution(128)
+            .evaluate()
+            .unwrap();
+        for (ci, ce) in curves.iter().zip(exact.iter()) {
+            assert_eq!(ci.k, ce.k);
+            let table = cache
+                .table_with_spec(
+                    &dispersal_core::policy::Exclusive,
+                    ci.k,
+                    GridSpec::NonUniform { tol },
+                )
+                .unwrap();
+            for (&gi, &ge) in ci.g.iter().zip(ce.g.iter()) {
+                assert!(
+                    (gi - ge).abs() <= 4.0 * tol * table.scale(),
+                    "k = {}: nonuniform {gi} vs exact {ge}",
+                    ci.k
+                );
+            }
+        }
+        // Spec-distinct cells memoize separately: the uniform grid for the
+        // same (policy, k) is a new build, not a hit on the nonuniform one.
+        cache.table(&dispersal_core::policy::Exclusive, 64, tol).unwrap();
+        assert_eq!(cache.builds(), 3);
     }
 
     #[test]

@@ -10,10 +10,9 @@
 //! thread or hammered by many concurrent clients, and at every
 //! worker-thread count.
 
+use dispersal_core::kernel::GridSpec;
 use dispersal_core::policy::{Congestion, Sharing, TwoLevel};
-use dispersal_sim::sweep::{
-    response_grid_batch_interpolated, response_grid_interpolated, SharedGridCache,
-};
+use dispersal_sim::sweep::{ResponseRequest, SharedGridCache};
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
 
@@ -27,7 +26,12 @@ const RESOLUTION: usize = 96;
 const TOL: f64 = 1e-9;
 
 fn curve_bits(c: &dyn Congestion, cache: &SharedGridCache) -> Vec<Vec<u64>> {
-    response_grid_interpolated(c, &KS, RESOLUTION, TOL, cache)
+    ResponseRequest::new(c)
+        .ks(&KS)
+        .resolution(RESOLUTION)
+        .grid(GridSpec::Interpolated { tol: TOL })
+        .cache(cache)
+        .evaluate()
         .expect("interpolated sweep")
         .into_iter()
         .map(|curve| curve.g.iter().map(|v| v.to_bits()).collect())
@@ -72,10 +76,17 @@ fn grid_cache_shared_across_single_and_batched_paths() {
     }
     let builds_after_warm = warmed.builds();
     let cold = SharedGridCache::new();
-    let via_warm = response_grid_batch_interpolated(&policies, &KS, RESOLUTION, TOL, &warmed)
-        .expect("batched sweep");
-    let via_cold = response_grid_batch_interpolated(&policies, &KS, RESOLUTION, TOL, &cold)
-        .expect("batched sweep");
+    let batched = |cache: &SharedGridCache| {
+        ResponseRequest::policies(&policies)
+            .ks(&KS)
+            .resolution(RESOLUTION)
+            .grid(GridSpec::Interpolated { tol: TOL })
+            .cache(cache)
+            .evaluate()
+            .expect("batched sweep")
+    };
+    let via_warm = batched(&warmed);
+    let via_cold = batched(&cold);
     assert_eq!(warmed.builds(), builds_after_warm, "batched path rebuilt a warmed grid");
     for (a, b) in via_warm.iter().zip(via_cold.iter()) {
         assert_eq!(a.policy, b.policy);

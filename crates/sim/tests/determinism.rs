@@ -131,10 +131,9 @@ fn batched_response_grids_bit_identical_across_thread_counts() {
     // GridCache-interpolated path (workers concurrently sharing one Arc'd
     // grid per (policy, k) cell) all produce identical bits at
     // RAYON_NUM_THREADS ∈ {1, 8}.
+    use dispersal_core::kernel::GridSpec;
     use dispersal_core::policy::{Congestion, PowerLaw, TwoLevel};
-    use dispersal_sim::sweep::{
-        response_grid, response_grid_batch, response_grid_batch_interpolated, GridCache,
-    };
+    use dispersal_sim::sweep::{GridCache, ResponseRequest};
     let _guard = THREAD_SWEEP_LOCK.lock().unwrap();
     let policies: Vec<&dyn Congestion> =
         vec![&Exclusive, &Sharing, &TwoLevel { c: -0.4 }, &PowerLaw { beta: 2.0 }];
@@ -145,9 +144,17 @@ fn batched_response_grids_bit_identical_across_thread_counts() {
     for threads in [1usize, 8] {
         rayon::set_num_threads(threads);
         let cache = GridCache::new();
-        exact.push(response_grid(&Sharing, &ks, 96).unwrap());
-        batch.push(response_grid_batch(&policies, &ks, 96).unwrap());
-        interp.push(response_grid_batch_interpolated(&policies, &ks, 96, 1e-9, &cache).unwrap());
+        exact.push(ResponseRequest::new(&Sharing).ks(&ks).resolution(96).evaluate().unwrap());
+        batch.push(ResponseRequest::policies(&policies).ks(&ks).resolution(96).evaluate().unwrap());
+        interp.push(
+            ResponseRequest::policies(&policies)
+                .ks(&ks)
+                .resolution(96)
+                .grid(GridSpec::Interpolated { tol: 1e-9 })
+                .cache(&cache)
+                .evaluate()
+                .unwrap(),
+        );
     }
     rayon::set_num_threads(0);
     for (a, b) in exact[0].iter().zip(exact[1].iter()) {
